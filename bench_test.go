@@ -1,0 +1,300 @@
+// Package twigbench contains the benchmark harness that regenerates
+// every table and figure of the paper's evaluation (run with
+// `go test -bench=. -benchmem`), plus micro-benchmarks behind Table III
+// and ablation benches for the design choices called out in DESIGN.md §5.
+//
+// Each BenchmarkFigN/BenchmarkTableN runs the corresponding experiment
+// at the scaled-down "quick" profile and reports the headline numbers as
+// custom benchmark metrics, so `go test -bench=.` doubles as the
+// reproduction harness. The cmd/twig-experiments binary prints the full
+// tables (including at the paper's scale with -scale paper).
+package twigbench
+
+import (
+	"testing"
+
+	"github.com/twig-sched/twig/internal/experiments"
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/service"
+)
+
+// benchScale is the scaled-down profile the benches regenerate the
+// evaluation at — identical to the quick profile used by
+// cmd/twig-experiments, so the headline metrics match EXPERIMENTS.md.
+func benchScale() experiments.Scale {
+	sc := experiments.QuickScale()
+	sc.Name = "bench"
+	return sc
+}
+
+// BenchmarkFig1PredictionError regenerates Fig. 1: multi-PMC vs IPC-only
+// tail-latency prediction error for Memcached.
+func BenchmarkFig1PredictionError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1("memcached", 2000, 1)
+		b.ReportMetric(r.ZeroErrorGain, "zeroErrGain")
+		b.ReportMetric(r.MultiPMC.ErrStdMs, "pmcStd(ms)")
+		b.ReportMetric(r.IPCOnly.ErrStdMs, "ipcStd(ms)")
+	}
+}
+
+// BenchmarkTable1PMCSelection regenerates Table I's correlation + PCA
+// selection pipeline.
+func BenchmarkTable1PMCSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1([]string{"masstree", "xapian"}, 15, 1)
+		b.ReportMetric(float64(r.Components), "pcs@95%")
+	}
+}
+
+// BenchmarkFig4PowerModelPAAE regenerates Fig. 4: the Eq. 2 power-model
+// PAAE for Masstree.
+func BenchmarkFig4PowerModelPAAE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4("masstree", 8, 1)
+		b.ReportMetric(r.PAAE, "PAAE%")
+		b.ReportMetric(r.Model.R2, "R2")
+	}
+}
+
+// BenchmarkTable2Capacity regenerates Table II's capacity knees.
+func BenchmarkTable2Capacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table2(30, 1)
+		b.ReportMetric(r.Rows[0].QoSTargetMs, "masstreeQoS(ms)")
+	}
+}
+
+// BenchmarkTable3OverheadGradientDescent measures the per-interval
+// gradient-descent cost with the paper-size network (Table III row 1).
+func BenchmarkTable3OverheadGradientDescent(b *testing.B) {
+	r := experiments.Table3(b.N)
+	b.ReportMetric(float64(r.GradientDescent.Microseconds()), "µs/step")
+}
+
+// BenchmarkTable3OverheadMonitorAndMapper measures PMC smoothing and the
+// mapper call (Table III rows 2–3).
+func BenchmarkTable3OverheadMonitorAndMapper(b *testing.B) {
+	r := experiments.Table3(2)
+	_ = r
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table3(2)
+	}
+	b.ReportMetric(float64(r.PMCGather.Nanoseconds()), "monitor-ns")
+	b.ReportMetric(float64(r.Mapping.Nanoseconds()), "mapper-ns")
+}
+
+// BenchmarkFig5TwigS regenerates Fig. 5 for one service across the three
+// load levels (run cmd/twig-experiments for all four services).
+func BenchmarkFig5TwigS(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5([]string{"masstree"}, sc, 1)
+		b.ReportMetric(r.AvgQoS("twig-s"), "twigQoS")
+		b.ReportMetric(r.AvgEnergyNorm("twig-s"), "twigEnergy/static")
+		b.ReportMetric(r.AvgEnergyNorm("heracles"), "heraclesEnergy/static")
+	}
+}
+
+// BenchmarkFig6Mappings regenerates Fig. 6's mapping + tardiness
+// distributions.
+func BenchmarkFig6Mappings(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6(sc, 1)
+		for _, tr := range r.Traces {
+			if tr.Manager == "twig-s" {
+				b.ReportMetric(float64(tr.Migrations), "twigMigrations")
+			}
+			if tr.Manager == "hipster" {
+				b.ReportMetric(float64(tr.Migrations), "hipsterMigrations")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7Learning regenerates the Fig. 7 learning curves.
+func BenchmarkFig7Learning(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig7(sc, 1)
+		b.ReportMetric(float64(r.CrossedAt80["twig-s"]), "twig80@bucket")
+	}
+}
+
+// BenchmarkFigMemComplexity regenerates the memory-complexity analysis.
+func BenchmarkFigMemComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.FigMem(3, 30, 25)
+		b.ReportMetric(float64(r.TwigBytes)/(1<<20), "twigMB")
+	}
+}
+
+// BenchmarkFig8TransferS regenerates the Twig-S transfer-learning
+// comparison.
+func BenchmarkFig8TransferS(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(sc, 1)
+		t := r.Targets[0]
+		b.ReportMetric(float64(t.ScratchTo80), "scratch80")
+		b.ReportMetric(float64(t.TransferTo80), "transfer80")
+	}
+}
+
+// BenchmarkFig9TransferC regenerates the Twig-C transfer-learning
+// comparison.
+func BenchmarkFig9TransferC(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9(sc, 1)
+		b.ReportMetric(r.TransferPowerW, "transferW")
+		b.ReportMetric(r.ScratchPowerW, "scratchW")
+	}
+}
+
+// BenchmarkFig10VaryingS regenerates the Fig. 10 varying-load traces.
+func BenchmarkFig10VaryingS(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10(sc, 1)
+		for _, tr := range r.Traces {
+			if tr.Manager == "twig-s" {
+				b.ReportMetric(tr.QoSGuarantee, "twigQoS")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11VaryingC regenerates the Fig. 11 Twig-C varying-load
+// trace.
+func BenchmarkFig11VaryingC(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11(sc, 1)
+		b.ReportMetric(r.QoSGuarantee[0], "mosesQoS")
+	}
+}
+
+// BenchmarkFig12MappingC regenerates the Fig. 12 PARTIES vs Twig-C
+// mapping distributions.
+func BenchmarkFig12MappingC(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(sc, 1)
+		for _, tr := range r.Traces {
+			if tr.Manager == "twig-c" {
+				b.ReportMetric(float64(tr.Migrations), "twigMigrations")
+			} else {
+				b.ReportMetric(float64(tr.Migrations), "partiesMigrations")
+			}
+		}
+	}
+}
+
+// BenchmarkFig13TwigC regenerates Fig. 13 for one pair (run
+// cmd/twig-experiments for all six pairs).
+func BenchmarkFig13TwigC(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig13([][2]string{{"masstree", "moses"}}, sc, 1)
+		b.ReportMetric(r.AvgQoS("twig-c"), "twigQoS")
+		b.ReportMetric(r.AvgEnergyNorm("twig-c"), "twigEnergy/static")
+	}
+}
+
+// BenchmarkExtensionCAT evaluates the optional third (Intel CAT) action
+// branch on a cache-oversubscribed pair.
+func BenchmarkExtensionCAT(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.ExtensionCAT(sc, 1)
+		b.ReportMetric(r.WithQoS[0], "mosesQoS+CAT")
+		b.ReportMetric(r.WithoutQoS[0], "mosesQoS-CAT")
+	}
+}
+
+// BenchmarkExtensionBatchColoc evaluates LC + best-effort batch
+// colocation: batch throughput each manager's reclamation produces.
+func BenchmarkExtensionBatchColoc(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.BatchColoc(sc, 1)
+		for _, c := range r.Cells {
+			if c.Manager == "twig-s" {
+				b.ReportMetric(c.BatchWork, "twigBatchWork")
+			}
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationUniformReplay compares prioritised vs uniform replay.
+func BenchmarkAblationUniformReplay(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationReplay(sc, 1)
+		b.ReportMetric(r.Cells[0].QoSGuarantee, "perQoS")
+		b.ReportMetric(r.Cells[1].QoSGuarantee, "uniformQoS")
+	}
+}
+
+// BenchmarkAblationEta sweeps the PMC smoothing window.
+func BenchmarkAblationEta(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationEta(sc, 1)
+		b.ReportMetric(r.Cells[1].QoSGuarantee, "eta5QoS")
+	}
+}
+
+// BenchmarkAblationReward sweeps the power-reward weight θ.
+func BenchmarkAblationReward(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationReward(sc, 1)
+		b.ReportMetric(r.Cells[0].AvgPowerW, "theta0W")
+		b.ReportMetric(r.Cells[1].AvgPowerW, "theta0.5W")
+	}
+}
+
+// BenchmarkAblationSingleV ablates the multi-agent state-value streams
+// (per-agent V vs one shared V) on a colocated pair.
+func BenchmarkAblationSingleV(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationMultiAgentValue(sc, 1)
+		b.ReportMetric(r.Cells[0].QoSGuarantee, "perAgentVQoS")
+		b.ReportMetric(r.Cells[1].QoSGuarantee, "sharedVQoS")
+	}
+}
+
+// BenchmarkAblationTargetMode compares mean vs per-branch TD targets.
+func BenchmarkAblationTargetMode(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationTargetMode(sc, 1)
+		b.ReportMetric(r.Cells[0].QoSGuarantee, "meanQoS")
+		b.ReportMetric(r.Cells[1].QoSGuarantee, "perBranchQoS")
+	}
+}
+
+// BenchmarkSimulatorStep isolates the simulator's per-interval cost for
+// a colocated pair under a static assignment.
+func BenchmarkSimulatorStep(b *testing.B) {
+	srv := experiments.NewServer(1, "masstree", "moses")
+	cores := srv.ManagedCores()
+	asg := sim.Assignment{
+		PerService: []sim.Allocation{
+			{Cores: cores[:9], FreqGHz: 2.0},
+			{Cores: cores[9:], FreqGHz: 2.0},
+		},
+		IdleFreqGHz: 1.2,
+	}
+	loads := []float64{0.3 * service.MustLookup("masstree").MaxLoadRPS, 0.3 * service.MustLookup("moses").MaxLoadRPS}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Step(asg, loads)
+	}
+}

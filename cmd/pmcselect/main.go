@@ -1,0 +1,29 @@
+// Command pmcselect runs the Table I PMC-selection pipeline of
+// Sec. III-B1: it samples every counter across the core × DVFS grid for
+// the chosen services, builds the Pearson correlation matrix against
+// tail latency, performs PCA, and ranks the counters by importance.
+//
+// Usage:
+//
+//	pmcselect [-services masstree,xapian,moses,img-dnn] [-seconds 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"github.com/twig-sched/twig/internal/experiments"
+	"github.com/twig-sched/twig/internal/sim/service"
+)
+
+func main() {
+	var (
+		servicesFlag = flag.String("services", strings.Join(service.TailbenchNames(), ","), "comma-separated services to profile")
+		seconds      = flag.Int("seconds", 40, "seconds per core×DVFS grid point (paper: 1000)")
+		seed         = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	names := strings.Split(*servicesFlag, ",")
+	fmt.Println(experiments.Table1(names, *seconds, *seed))
+}

@@ -1,0 +1,29 @@
+// Command powermodel profiles a service across load levels, core counts
+// and DVFS states (with unused cores hot-unplugged), fits the Eq. 2
+// per-service power model with random grid search + 5-fold CV, and
+// reports the Fig. 4 percentage absolute average error.
+//
+// Usage:
+//
+//	powermodel [-services xapian,masstree] [-seconds 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"github.com/twig-sched/twig/internal/experiments"
+)
+
+func main() {
+	var (
+		servicesFlag = flag.String("services", "xapian,masstree", "comma-separated services to fit")
+		seconds      = flag.Int("seconds", 12, "seconds per profiling grid point")
+		seed         = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	for _, name := range strings.Split(*servicesFlag, ",") {
+		fmt.Println(experiments.Fig4(strings.TrimSpace(name), *seconds, *seed))
+	}
+}

@@ -1,0 +1,258 @@
+// Command twigd runs the Twig task manager against the simulated server
+// and reports per-interval decisions and QoS, like watching the real
+// daemon's log. It is the interactive entry point; see twig-experiments
+// for the paper's evaluation.
+//
+// Usage:
+//
+//	twigd -services masstree,moses -loads 0.3,0.3 -seconds 2000
+//	twigd -services img-dnn -pattern diurnal -seconds 4000
+//	twigd -services masstree -trace load.csv -csv run.csv -http :8080
+//
+// With -http, GET /status returns a JSON snapshot of the run (time,
+// power, per-service allocation and tail latency) while it executes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/twig-sched/twig/internal/experiments"
+	"github.com/twig-sched/twig/internal/report"
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/loadgen"
+	"github.com/twig-sched/twig/internal/sim/service"
+)
+
+// status is the JSON snapshot served at /status.
+type status struct {
+	Time     int             `json:"time"`
+	PowerW   float64         `json:"power_w"`
+	Services []serviceStatus `json:"services"`
+}
+
+type serviceStatus struct {
+	Name        string  `json:"name"`
+	Cores       int     `json:"cores"`
+	FreqGHz     float64 `json:"freq_ghz"`
+	P99Ms       float64 `json:"p99_ms"`
+	QoSTargetMs float64 `json:"qos_target_ms"`
+	OfferedRPS  float64 `json:"offered_rps"`
+}
+
+func main() {
+	var (
+		servicesFlag = flag.String("services", "masstree", "comma-separated service names")
+		loadsFlag    = flag.String("loads", "0.5", "comma-separated load fractions of each service's max")
+		pattern      = flag.String("pattern", "fixed", "load pattern: fixed, stepwise or diurnal")
+		traceFlag    = flag.String("trace", "", "CSV load trace for the first service (overrides -pattern)")
+		csvFlag      = flag.String("csv", "", "write a per-interval CSV record of the run to this file")
+		httpFlag     = flag.String("http", "", "serve a JSON /status endpoint on this address while running")
+		saveFlag     = flag.String("save", "", "write learned network weights to this file at exit")
+		loadFlag     = flag.String("load", "", "seed the manager with weights saved by -save")
+		seconds      = flag.Int("seconds", 3500, "simulated seconds to run")
+		seed         = flag.Int64("seed", 1, "random seed")
+		scale        = flag.String("scale", "quick", "learning profile: quick or paper")
+		logEvery     = flag.Int("log-every", 100, "print a status line every N simulated seconds")
+	)
+	flag.Parse()
+
+	names := strings.Split(*servicesFlag, ",")
+	loadStrs := strings.Split(*loadsFlag, ",")
+	if len(loadStrs) == 1 && len(names) > 1 {
+		for len(loadStrs) < len(names) {
+			loadStrs = append(loadStrs, loadStrs[0])
+		}
+	}
+	if len(loadStrs) != len(names) {
+		fail("need one load fraction per service")
+	}
+
+	sc := experiments.QuickScale()
+	if *scale == "paper" {
+		sc = experiments.PaperScale()
+	}
+
+	srv := experiments.NewServer(*seed, names...)
+	mgr := experiments.NewTwig(srv, sc, *seed, names...)
+	if *loadFlag != "" {
+		f, err := os.Open(*loadFlag)
+		if err != nil {
+			fail("opening weights: %v", err)
+		}
+		if err := mgr.Load(f); err != nil {
+			fail("loading weights: %v", err)
+		}
+		f.Close()
+		fmt.Printf("twigd: loaded weights from %s\n", *loadFlag)
+	}
+
+	patterns := make([]loadgen.Pattern, len(names))
+	for i, name := range names {
+		frac, err := strconv.ParseFloat(strings.TrimSpace(loadStrs[i]), 64)
+		if err != nil {
+			fail("bad load fraction %q: %v", loadStrs[i], err)
+		}
+		maxRPS := service.MustLookup(name).MaxLoadRPS
+		switch *pattern {
+		case "fixed":
+			patterns[i] = loadgen.Fixed(frac * maxRPS)
+		case "stepwise":
+			patterns[i] = loadgen.NewStepWise(0.2*frac*maxRPS, frac*maxRPS, 0.2, 200)
+		case "diurnal":
+			patterns[i] = loadgen.Diurnal{MinRPS: 0.3 * frac * maxRPS, MaxRPS: frac * maxRPS, PeriodS: 3600}
+		default:
+			fail("unknown pattern %q", *pattern)
+		}
+	}
+	if *traceFlag != "" {
+		f, err := os.Open(*traceFlag)
+		if err != nil {
+			fail("opening trace: %v", err)
+		}
+		tr, err := loadgen.ReadTrace(f, true)
+		f.Close()
+		if err != nil {
+			fail("parsing trace: %v", err)
+		}
+		patterns[0] = tr
+	}
+
+	// Optional live status endpoint.
+	var mu sync.Mutex
+	var snap status
+	if *httpFlag != "" {
+		http.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(snap)
+		})
+		go func() {
+			if err := http.ListenAndServe(*httpFlag, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "twigd: http server: %v\n", err)
+			}
+		}()
+		fmt.Printf("twigd: serving /status on %s\n", *httpFlag)
+	}
+
+	// Optional per-interval CSV.
+	csvTable := report.NewTable(csvHeader(names)...)
+
+	var coresTrace []float64
+	fmt.Printf("twigd: managing %v on %d cores (%s scale, ε %0.2f→%0.2f)\n",
+		names, len(srv.ManagedCores()), sc.Name, sc.Epsilon.Start, sc.Epsilon.End)
+	sum := experiments.Run(experiments.RunConfig{
+		Server:       srv,
+		Controller:   mgr,
+		Patterns:     patterns,
+		Seconds:      *seconds,
+		SummaryFromS: maxInt(*seconds-sc.SummaryS, *seconds/2),
+		Hook: func(t int, r sim.StepResult, asg sim.Assignment) {
+			mu.Lock()
+			snap = snapshot(names, t, r)
+			mu.Unlock()
+			coresTrace = append(coresTrace, float64(r.Services[0].NumCores))
+			if *csvFlag != "" {
+				csvTable.AddRow(csvRow(t, r)...)
+			}
+			if (t+1)%*logEvery != 0 {
+				return
+			}
+			fmt.Printf("t=%5ds power=%5.1fW", t+1, r.TruePowerW)
+			for i, sv := range r.Services {
+				fmt.Printf("  %s: %2dc@%.1fGHz p99=%6.2fms (target %.2f)",
+					names[i], sv.NumCores, sv.FreqGHz, sv.P99Ms, sv.QoSTargetMs)
+			}
+			fmt.Println()
+		},
+	})
+
+	fmt.Println("\nsummary (final window):")
+	for i, name := range names {
+		fmt.Printf("  %-10s QoS guarantee %s  mean tardiness %.2f  avg alloc %.1f cores @ %.2f GHz\n",
+			name, report.Percent(sum.QoSGuarantee[i]), sum.MeanTardiness[i], sum.AvgCores[i], sum.AvgFreqGHz[i])
+	}
+	fmt.Printf("  energy %.0f J (avg %.1f W), %d migrations\n", sum.EnergyJ, sum.AvgPowerW, sum.Migrations)
+	if n := len(coresTrace); n > 120 {
+		step := n / 60
+		var ds []float64
+		for i := 0; i < n; i += step {
+			ds = append(ds, coresTrace[i])
+		}
+		fmt.Printf("  %s cores over time: %s\n", names[0], report.Sparkline(ds))
+	}
+
+	if *saveFlag != "" {
+		f, err := os.Create(*saveFlag)
+		if err != nil {
+			fail("creating weights file: %v", err)
+		}
+		if err := mgr.Save(f); err != nil {
+			fail("saving weights: %v", err)
+		}
+		f.Close()
+		fmt.Printf("  saved weights to %s\n", *saveFlag)
+	}
+
+	if *csvFlag != "" {
+		f, err := os.Create(*csvFlag)
+		if err != nil {
+			fail("creating csv: %v", err)
+		}
+		if err := csvTable.WriteCSV(f); err != nil {
+			fail("writing csv: %v", err)
+		}
+		f.Close()
+		fmt.Printf("  wrote %d intervals to %s\n", csvTable.Len(), *csvFlag)
+	}
+}
+
+func snapshot(names []string, t int, r sim.StepResult) status {
+	s := status{Time: t, PowerW: r.TruePowerW}
+	for i, sv := range r.Services {
+		s.Services = append(s.Services, serviceStatus{
+			Name:        names[i],
+			Cores:       sv.NumCores,
+			FreqGHz:     sv.FreqGHz,
+			P99Ms:       sv.P99Ms,
+			QoSTargetMs: sv.QoSTargetMs,
+			OfferedRPS:  sv.OfferedRPS,
+		})
+	}
+	return s
+}
+
+func csvHeader(names []string) []string {
+	h := []string{"t", "power_w"}
+	for _, n := range names {
+		h = append(h, n+"_cores", n+"_freq_ghz", n+"_p99_ms", n+"_rps")
+	}
+	return h
+}
+
+func csvRow(t int, r sim.StepResult) []interface{} {
+	row := []interface{}{t, r.TruePowerW}
+	for _, sv := range r.Services {
+		row = append(row, sv.NumCores, sv.FreqGHz, sv.P99Ms, sv.OfferedRPS)
+	}
+	return row
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "twigd: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

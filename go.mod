@@ -1,0 +1,3 @@
+module github.com/twig-sched/twig
+
+go 1.22

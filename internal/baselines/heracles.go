@@ -1,0 +1,133 @@
+package baselines
+
+import (
+	"sort"
+
+	"github.com/twig-sched/twig/internal/ctrl"
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/platform"
+	"github.com/twig-sched/twig/internal/sim/pmc"
+)
+
+// HeraclesConfig holds the controller periods and thresholds from the
+// paper's description (Sec. V-A): the main controller polls every 15 s
+// and allocates everything for 5 min on a violation or >85% load; the
+// core/memory controller polls every 2 s and grows the allocation when
+// latency reaches 80% of the target or memory bandwidth rises; the power
+// controller polls every 2 s and lowers DVFS when power reaches 90% of
+// TDP.
+type HeraclesConfig struct {
+	MainPeriodS    int
+	CorePeriodS    int
+	PowerPeriodS   int
+	LockoutS       int     // "all cores" period after a violation
+	LatencyGrow    float64 // grow when p99 ≥ this fraction of target
+	LoadPanic      float64 // main controller load threshold
+	TDPW           float64
+	PowerCapFrac   float64
+	BWGrowRelDelta float64 // relative LLC-miss increase treated as "memory bandwidth increased"
+}
+
+// DefaultHeraclesConfig returns the thresholds described in Sec. V-A.
+func DefaultHeraclesConfig(tdpW float64) HeraclesConfig {
+	return HeraclesConfig{
+		MainPeriodS:    15,
+		CorePeriodS:    2,
+		PowerPeriodS:   2,
+		LockoutS:       300,
+		LatencyGrow:    0.80,
+		LoadPanic:      0.85,
+		TDPW:           tdpW,
+		PowerCapFrac:   0.90,
+		BWGrowRelDelta: 0.10,
+	}
+}
+
+// Heracles is the feedback controller of Lo et al. (ISCA'15), adapted as
+// in the paper: a main controller that falls back to a full allocation
+// on trouble, a core controller that grows/shrinks the core count, and a
+// power controller that manages DVFS against the TDP. It manages a
+// single LC service.
+type Heracles struct {
+	cfg   HeraclesConfig
+	cores []int
+
+	allocated  int
+	freqStep   int
+	lockoutEnd int
+	prevMisses float64
+	step       int
+}
+
+// NewHeracles builds the controller over the managed cores.
+func NewHeracles(cfg HeraclesConfig, managedCores []int) *Heracles {
+	cp := append([]int(nil), managedCores...)
+	sort.Ints(cp)
+	return &Heracles{
+		cfg:       cfg,
+		cores:     cp,
+		allocated: len(cp),
+		freqStep:  platform.NumFreqSteps - 1,
+	}
+}
+
+// Name implements ctrl.Controller.
+func (h *Heracles) Name() string { return "heracles" }
+
+// Decide implements ctrl.Controller for a single LC service.
+func (h *Heracles) Decide(obs ctrl.Observation) sim.Assignment {
+	s := obs.Services[0]
+	t := h.step
+	h.step++
+
+	// Main controller: on a violation or high load, allocate all cores
+	// for the lockout period.
+	if t%h.cfg.MainPeriodS == 0 {
+		load := 0.0
+		if s.MaxLoadRPS > 0 {
+			load = s.MeasuredRPS / s.MaxLoadRPS
+		}
+		if !s.QoSMet() || load > h.cfg.LoadPanic {
+			h.allocated = len(h.cores)
+			h.lockoutEnd = t + h.cfg.LockoutS
+		}
+	}
+
+	// Core & memory controller.
+	if t%h.cfg.CorePeriodS == 0 && t >= h.lockoutEnd {
+		misses := s.NormPMCs[pmc.LLCMisses]
+		bwGrew := h.prevMisses > 0 && misses > h.prevMisses*(1+h.cfg.BWGrowRelDelta)
+		if s.Tardiness() >= h.cfg.LatencyGrow || bwGrew {
+			h.allocated++
+		} else {
+			h.allocated--
+		}
+		h.prevMisses = misses
+		if h.allocated < 1 {
+			h.allocated = 1
+		}
+		if h.allocated > len(h.cores) {
+			h.allocated = len(h.cores)
+		}
+	}
+
+	// Power controller: back off DVFS at the power cap, restore when
+	// comfortably below it.
+	if t%h.cfg.PowerPeriodS == 0 {
+		switch {
+		case obs.PowerW >= h.cfg.PowerCapFrac*h.cfg.TDPW && h.freqStep > 0:
+			h.freqStep--
+		case obs.PowerW < 0.7*h.cfg.TDPW && h.freqStep < platform.NumFreqSteps-1:
+			h.freqStep++
+		}
+	}
+
+	return sim.Assignment{
+		PerService: []sim.Allocation{{
+			Cores:   append([]int(nil), h.cores[:h.allocated]...),
+			FreqGHz: platform.FreqForStep(h.freqStep),
+		}},
+		// Heracles does not manage idle cores' DVFS.
+		IdleFreqGHz: platform.FreqForStep(h.freqStep),
+	}
+}

@@ -1,0 +1,54 @@
+// Package baselines implements the task managers Twig is evaluated
+// against: the static mapping, Hipster (HPCA'17, hybrid heuristic +
+// tabular Q-learning), Heracles (ISCA'15, multi-level feedback
+// controllers) and PARTIES (ASPLOS'19, one-resource-at-a-time upsizing/
+// downsizing). Heracles and PARTIES are re-implemented from their
+// papers' descriptions, as in Sec. V-A ("we implemented PARTIES and
+// Heracles based on available documentation").
+package baselines
+
+import (
+	"sort"
+
+	"github.com/twig-sched/twig/internal/ctrl"
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/platform"
+)
+
+// Static is the baseline mapping of Sec. V-A: every core runs at the
+// highest DVFS setting and the socket is split evenly among the hosted
+// services (for a single service, it owns the whole socket).
+type Static struct {
+	cores    []int
+	services int
+}
+
+// NewStatic creates the static mapping over the managed cores.
+func NewStatic(managedCores []int, services int) *Static {
+	if services <= 0 || len(managedCores) == 0 {
+		panic("baselines: invalid static configuration")
+	}
+	cp := append([]int(nil), managedCores...)
+	sort.Ints(cp)
+	return &Static{cores: cp, services: services}
+}
+
+// Name implements ctrl.Controller.
+func (s *Static) Name() string { return "static" }
+
+// Decide returns the fixed assignment regardless of the observation.
+func (s *Static) Decide(ctrl.Observation) sim.Assignment {
+	asg := sim.Assignment{PerService: make([]sim.Allocation, s.services)}
+	n := len(s.cores)
+	for k := 0; k < s.services; k++ {
+		lo := k * n / s.services
+		hi := (k + 1) * n / s.services
+		asg.PerService[k] = sim.Allocation{
+			Cores:   append([]int(nil), s.cores[lo:hi]...),
+			FreqGHz: platform.MaxFreqGHz,
+		}
+	}
+	// Static leaves every core at the highest DVFS state.
+	asg.IdleFreqGHz = platform.MaxFreqGHz
+	return asg
+}

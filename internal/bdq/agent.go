@@ -1,0 +1,344 @@
+package bdq
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/twig-sched/twig/internal/mat"
+	"github.com/twig-sched/twig/internal/nn"
+	"github.com/twig-sched/twig/internal/replay"
+)
+
+// TargetMode selects how the bootstrap target aggregates the branch
+// Q-values of the next state.
+type TargetMode int
+
+const (
+	// TargetMeanBranches averages the per-branch target Q-values, the
+	// aggregation recommended by the BDQ paper. The default.
+	TargetMeanBranches TargetMode = iota
+	// TargetPerBranch bootstraps each branch from its own maximum.
+	TargetPerBranch
+)
+
+// EpsilonSchedule is Twig's two-phase linear annealing: ε starts at
+// Start, reaches Mid at MidStep and End at EndStep, then stays at End.
+type EpsilonSchedule struct {
+	Start, Mid, End  float64
+	MidStep, EndStep int
+}
+
+// At returns ε at the given step.
+func (e EpsilonSchedule) At(step int) float64 {
+	switch {
+	case e.MidStep <= 0:
+		return e.End
+	case step <= 0:
+		return e.Start
+	case step < e.MidStep:
+		f := float64(step) / float64(e.MidStep)
+		return e.Start + f*(e.Mid-e.Start)
+	case step < e.EndStep:
+		f := float64(step-e.MidStep) / float64(e.EndStep-e.MidStep)
+		return e.Mid + f*(e.End-e.Mid)
+	default:
+		return e.End
+	}
+}
+
+// AgentConfig configures a Q-learning agent around a multi-agent BDQ.
+// Zero values select the paper's hyper-parameters via Defaults.
+type AgentConfig struct {
+	Spec Spec
+
+	Gamma        float64
+	LearningRate float64
+	BatchSize    int
+	TargetSync   int // online→target copy period, in training steps
+	WarmupSteps  int // transitions stored before training starts
+	// TrainPerStep is the number of gradient updates per Observe call
+	// (1 by default; scaled-down experiment profiles use more to match
+	// the paper's longer schedules).
+	TrainPerStep   int
+	ReplayCapacity int
+	UsePER         bool
+	PERAlpha       float64
+	PERBeta0       float64
+	PERAnnealSteps int
+	Epsilon        EpsilonSchedule
+	TargetMode     TargetMode
+	MaxGradNorm    float64
+	Seed           int64
+}
+
+// Defaults fills unset fields with the hyper-parameters of Sec. IV:
+// Adam lr 0.0025, minibatch 64, γ 0.99, target sync 150, PER buffer 10⁶
+// with α 0.6 and β 0.4→1, ε 1→0.1@10000→0.01@25000.
+func (c AgentConfig) Defaults() AgentConfig {
+	if c.Gamma == 0 {
+		c.Gamma = 0.99
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.0025
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.TargetSync == 0 {
+		c.TargetSync = 150
+	}
+	if c.WarmupSteps == 0 {
+		c.WarmupSteps = c.BatchSize
+	}
+	if c.TrainPerStep == 0 {
+		c.TrainPerStep = 1
+	}
+	if c.ReplayCapacity == 0 {
+		c.ReplayCapacity = 1_000_000
+	}
+	if c.PERAlpha == 0 {
+		c.PERAlpha = 0.6
+	}
+	if c.PERBeta0 == 0 {
+		c.PERBeta0 = 0.4
+	}
+	if c.PERAnnealSteps == 0 {
+		c.PERAnnealSteps = 25_000
+	}
+	if c.Epsilon == (EpsilonSchedule{}) {
+		c.Epsilon = EpsilonSchedule{Start: 1, Mid: 0.1, End: 0.01, MidStep: 10_000, EndStep: 25_000}
+	}
+	return c
+}
+
+// Agent is the deep Q-learning agent of Algorithm 1: it selects branch
+// actions ε-greedily, stores transitions, trains the online network from
+// (prioritised) replay and periodically synchronises the target network.
+type Agent struct {
+	cfg    AgentConfig
+	online *Network
+	target *Network
+	buffer replay.Buffer
+	opt    *nn.Adam
+	rng    *rand.Rand
+
+	step       int // environment steps (action selections)
+	trainSteps int // gradient updates
+}
+
+// NewAgent constructs an agent; cfg is completed with Defaults first.
+func NewAgent(cfg AgentConfig) *Agent {
+	cfg = cfg.Defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	online := NewNetwork(cfg.Spec, rng)
+	target := NewNetwork(cfg.Spec, rng)
+	target.CopyValuesFrom(online)
+	var buf replay.Buffer
+	if cfg.UsePER {
+		buf = replay.NewPrioritized(cfg.ReplayCapacity, cfg.PERAlpha, cfg.PERBeta0, cfg.PERAnnealSteps)
+	} else {
+		buf = replay.NewUniform(cfg.ReplayCapacity)
+	}
+	opt := nn.NewAdam(cfg.LearningRate)
+	opt.MaxGradNorm = cfg.MaxGradNorm
+	return &Agent{cfg: cfg, online: online, target: target, buffer: buf, opt: opt, rng: rng}
+}
+
+// Config returns the (defaulted) configuration.
+func (a *Agent) Config() AgentConfig { return a.cfg }
+
+// Online exposes the online network (used by experiments that inspect
+// parameter counts or persist weights).
+func (a *Agent) Online() *Network { return a.online }
+
+// Epsilon returns the exploration rate at the current step.
+func (a *Agent) Epsilon() float64 { return a.cfg.Epsilon.At(a.step) }
+
+// Step returns the number of environment steps taken so far.
+func (a *Agent) Step() int { return a.step }
+
+// SelectActions chooses one action per agent and dimension ε-greedily:
+// each branch independently explores with probability ε, as in
+// action-branching architectures. The environment step counter advances.
+func (a *Agent) SelectActions(state []float64) [][]int {
+	eps := a.Epsilon()
+	a.step++
+	acts := a.greedy(state)
+	for k := range acts {
+		for d := range acts[k] {
+			if a.rng.Float64() < eps {
+				acts[k][d] = a.rng.Intn(a.cfg.Spec.Dims[d])
+			}
+		}
+	}
+	return acts
+}
+
+// SelectGreedy returns the pure-exploitation actions without advancing
+// the step counter (used after the learning phase, per Sec. V).
+func (a *Agent) SelectGreedy(state []float64) [][]int { return a.greedy(state) }
+
+func (a *Agent) greedy(state []float64) [][]int {
+	if len(state) != a.cfg.Spec.StateDim {
+		panic(fmt.Sprintf("bdq: state dim %d != %d", len(state), a.cfg.Spec.StateDim))
+	}
+	x := mat.FromSlice(1, len(state), mat.Clone(state))
+	return a.online.Forward(x, false).GreedyActions()
+}
+
+// QValues returns the online network's Q-values for a single state:
+// out[agent][dim][action]. Useful for analysis and debugging.
+func (a *Agent) QValues(state []float64) [][][]float64 {
+	x := mat.FromSlice(1, len(state), mat.Clone(state))
+	out := a.online.Forward(x, false)
+	qs := make([][][]float64, len(out.Q))
+	for k := range out.Q {
+		qs[k] = make([][]float64, len(out.Q[k]))
+		for d := range out.Q[k] {
+			qs[k][d] = mat.Clone(out.Q[k][d].Row(0))
+		}
+	}
+	return qs
+}
+
+// Observe stores a transition and, once warm, performs one training step.
+// It returns the minibatch loss (0 when no training happened).
+func (a *Agent) Observe(t replay.Transition) float64 {
+	if len(t.Actions) != a.cfg.Spec.Agents*len(a.cfg.Spec.Dims) {
+		panic("bdq: transition action count mismatch")
+	}
+	if len(t.Rewards) != a.cfg.Spec.Agents {
+		panic("bdq: transition reward count mismatch")
+	}
+	a.buffer.Add(t)
+	if a.buffer.Len() < a.cfg.WarmupSteps {
+		return 0
+	}
+	var loss float64
+	for i := 0; i < a.cfg.TrainPerStep; i++ {
+		loss = a.TrainStep()
+	}
+	return loss
+}
+
+// TrainStep samples a minibatch, forms per-branch TD targets with the
+// target network (actions chosen by the online network — double DQN
+// style), backpropagates the weighted squared error, applies Adam and
+// periodically syncs the target network. Returns the minibatch loss.
+func (a *Agent) TrainStep() float64 {
+	spec := a.cfg.Spec
+	K, D := spec.Agents, len(spec.Dims)
+	batch := a.buffer.Sample(a.cfg.BatchSize, a.rng)
+	n := len(batch.Transitions)
+
+	states := mat.New(n, spec.StateDim)
+	next := mat.New(n, spec.StateDim)
+	for i, t := range batch.Transitions {
+		copy(states.Row(i), t.State)
+		copy(next.Row(i), t.NextState)
+	}
+
+	// Action selection on s′ with the online net, evaluation with the
+	// target net.
+	onlineNext := a.online.Forward(next, false)
+	argmax := make([][][]int, K)
+	for k := 0; k < K; k++ {
+		argmax[k] = make([][]int, D)
+		for d := 0; d < D; d++ {
+			argmax[k][d] = make([]int, n)
+			for b := 0; b < n; b++ {
+				argmax[k][d][b] = mat.Argmax(onlineNext.Q[k][d].Row(b))
+			}
+		}
+	}
+	targetNext := a.target.Forward(next, false)
+
+	// y[k][b]: bootstrap value per agent.
+	y := make([][]float64, K)
+	for k := 0; k < K; k++ {
+		y[k] = make([]float64, n)
+		for b := 0; b < n; b++ {
+			t := batch.Transitions[b]
+			if t.Done {
+				y[k][b] = t.Rewards[k]
+				continue
+			}
+			var boot float64
+			for d := 0; d < D; d++ {
+				boot += targetNext.Q[k][d].At(b, argmax[k][d][b])
+			}
+			if a.cfg.TargetMode == TargetMeanBranches {
+				boot /= float64(D)
+			}
+			y[k][b] = t.Rewards[k] + a.cfg.Gamma*boot
+		}
+	}
+
+	// Forward the current states in training mode and build the
+	// gradient: only the taken action of each branch receives error.
+	a.online.ZeroGrad()
+	out := a.online.Forward(states, true)
+	gradQ := make([][]*mat.Matrix, K)
+	var loss float64
+	tdErr := make([]float64, n)
+	denom := float64(n * K * D)
+	for k := 0; k < K; k++ {
+		gradQ[k] = make([]*mat.Matrix, D)
+		for d := 0; d < D; d++ {
+			g := mat.New(n, spec.Dims[d])
+			for b := 0; b < n; b++ {
+				act := batch.Transitions[b].Actions[k*D+d]
+				target := y[k][b]
+				if a.cfg.TargetMode == TargetPerBranch && !batch.Transitions[b].Done {
+					target = batch.Transitions[b].Rewards[k] +
+						a.cfg.Gamma*targetNext.Q[k][d].At(b, argmax[k][d][b])
+				}
+				diff := out.Q[k][d].At(b, act) - target
+				w := batch.Weights[b]
+				loss += 0.5 * w * diff * diff
+				g.Set(b, act, w*diff/denom)
+				if diff < 0 {
+					tdErr[b] -= diff / float64(K*D)
+				} else {
+					tdErr[b] += diff / float64(K*D)
+				}
+			}
+			gradQ[k][d] = g
+		}
+	}
+	a.online.Backward(gradQ)
+	a.opt.Step(a.online.Params())
+	a.buffer.UpdatePriorities(batch.Indices, tdErr)
+
+	a.trainSteps++
+	if a.trainSteps%a.cfg.TargetSync == 0 {
+		a.target.CopyValuesFrom(a.online)
+	}
+	return loss / denom
+}
+
+// Transfer applies transfer learning (Sec. IV): the output layers of both
+// networks are re-initialised while the shared representation and hidden
+// layers keep their trained weights, and exploration is restarted at the
+// given step of the ε schedule.
+func (a *Agent) Transfer(restartStep int) {
+	a.online.ReinitOutputLayers(a.rng)
+	a.target.CopyValuesFrom(a.online)
+	a.step = restartStep
+}
+
+// Save persists the online network weights.
+func (a *Agent) Save(w io.Writer) error { return nn.Save(w, a.online.Params()) }
+
+// Load restores online weights from r and syncs the target network.
+func (a *Agent) Load(r io.Reader) error {
+	if err := nn.Load(r, a.online.Params()); err != nil {
+		return err
+	}
+	a.target.CopyValuesFrom(a.online)
+	return nil
+}
+
+// ReplayLen returns the number of stored transitions.
+func (a *Agent) ReplayLen() int { return a.buffer.Len() }

@@ -1,0 +1,146 @@
+package bdq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/twig-sched/twig/internal/replay"
+)
+
+func TestTrainPerStepMultipliesUpdates(t *testing.T) {
+	mk := func(per int) *Agent {
+		cfg := testAgentConfig(1)
+		cfg.TrainPerStep = per
+		cfg.TargetSync = 1_000_000 // avoid sync noise
+		return NewAgent(cfg)
+	}
+	run := func(a *Agent) int {
+		state := []float64{0.1, 0.2, 0.3, 0.4}
+		for i := 0; i < 40; i++ {
+			acts := a.SelectActions(state)
+			flat := []int{acts[0][0], acts[0][1], acts[1][0], acts[1][1]}
+			a.Observe(replay.Transition{State: state, Actions: flat, Rewards: []float64{1, 1}, NextState: state})
+		}
+		return a.trainSteps
+	}
+	one := run(mk(1))
+	three := run(mk(3))
+	if three != 3*one {
+		t.Fatalf("trainSteps %d vs %d, want 3x", three, one)
+	}
+}
+
+func TestTargetPerBranchMode(t *testing.T) {
+	cfg := testAgentConfig(2)
+	cfg.TargetMode = TargetPerBranch
+	a := NewAgent(cfg)
+	state := []float64{0.1, 0.2, 0.3, 0.4}
+	// Just exercise the per-branch target path end to end.
+	var loss float64
+	for i := 0; i < 60; i++ {
+		acts := a.SelectActions(state)
+		flat := []int{acts[0][0], acts[0][1], acts[1][0], acts[1][1]}
+		loss = a.Observe(replay.Transition{State: state, Actions: flat, Rewards: []float64{2, -1}, NextState: state})
+	}
+	if loss <= 0 {
+		t.Fatalf("loss = %v, training inactive", loss)
+	}
+	// Values must approach the constant-reward fixed points per agent:
+	// Q₀* = 2/(1−γ), Q₁* = −1/(1−γ) with γ = 0.99 default? cfg uses
+	// default gamma 0.99 → just check the sign separation.
+	q := a.QValues(state)
+	if q[0][0][0] <= q[1][0][0] {
+		t.Fatalf("agent with reward 2 must value higher than agent with −1: %v vs %v",
+			q[0][0][0], q[1][0][0])
+	}
+}
+
+func TestQValuesShape(t *testing.T) {
+	a := NewAgent(testAgentConfig(3))
+	q := a.QValues([]float64{0, 0, 0, 0})
+	if len(q) != 2 || len(q[0]) != 2 || len(q[0][0]) != 3 || len(q[0][1]) != 2 {
+		t.Fatalf("QValues shape %d/%d/%d", len(q), len(q[0]), len(q[0][0]))
+	}
+}
+
+func TestDoneTransitionsTruncateBootstrap(t *testing.T) {
+	cfg := testAgentConfig(4)
+	cfg.Spec.Agents = 1
+	cfg.Spec.Dims = []int{2}
+	cfg.Spec.StateDim = 2
+	cfg.Gamma = 0.9
+	a := NewAgent(cfg)
+	state := []float64{0.5, 0.5}
+	// Every transition terminal with reward 3 → Q* = 3 exactly.
+	for i := 0; i < 600; i++ {
+		acts := a.SelectActions(state)
+		a.Observe(replay.Transition{
+			State: state, Actions: []int{acts[0][0]}, Rewards: []float64{3},
+			NextState: state, Done: true,
+		})
+	}
+	q := a.QValues(state)
+	for _, v := range q[0][0] {
+		if v < 2 || v > 4 {
+			t.Fatalf("terminal Q = %v, want ≈ 3 (no bootstrap)", v)
+		}
+	}
+}
+
+// Property: the ε schedule is non-increasing over time and bounded by
+// [End, Start].
+func TestEpsilonMonotoneProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(5))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mid := 1 + rng.Intn(500)
+		e := EpsilonSchedule{
+			Start:   1,
+			Mid:     0.05 + rng.Float64()*0.5,
+			End:     0.01,
+			MidStep: mid,
+			EndStep: mid + 1 + rng.Intn(500),
+		}
+		prev := e.At(0)
+		for s := 0; s < e.EndStep+100; s += 7 {
+			v := e.At(s)
+			if v > prev+1e-12 || v < e.End-1e-12 || v > e.Start+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: selected actions always lie inside each branch's range, for
+// any ε and any state in [0,1]^d.
+func TestActionBoundsProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(6))}
+	f := func(seed int64) bool {
+		a := NewAgent(testAgentConfig(seed))
+		rng := rand.New(rand.NewSource(seed))
+		state := make([]float64, 4)
+		for trial := 0; trial < 15; trial++ {
+			for i := range state {
+				state[i] = rng.Float64()
+			}
+			for k, per := range a.SelectActions(state) {
+				for d, act := range per {
+					if act < 0 || act >= a.cfg.Spec.Dims[d] {
+						return false
+					}
+					_ = k
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,354 @@
+// Package bdq implements the branching dueling Q-network (BDQ) of
+// Tavakoli et al. and the multi-agent extension introduced by Twig
+// (Sec. III-A): a shared state representation, one state-value stream per
+// learning agent ("state agents"), and per-action-dimension advantage
+// modules whose deepest (hidden) layer is shared across agents while each
+// agent keeps its own linear output head. Gradients are rescaled by 1/K
+// (number of agents) before entering the deepest advantage layer and by
+// 1/D (number of action dimensions) before entering the shared
+// representation, exactly as described in the paper.
+package bdq
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/twig-sched/twig/internal/mat"
+	"github.com/twig-sched/twig/internal/nn"
+)
+
+// Spec describes the multi-agent BDQ architecture. Twig-S uses Agents=1;
+// Twig-C uses one agent per colocated service. Every agent shares the
+// same action dimensions (e.g. Dims = [18 cores, 9 DVFS states]).
+type Spec struct {
+	// StateDim is the total network input width: the concatenated,
+	// feature-scaled PMC vectors of all agents.
+	StateDim int
+	// Agents is K, the number of learning agents (services).
+	Agents int
+	// Dims lists the number of discrete actions in each action
+	// dimension (branch), shared by every agent.
+	Dims []int
+	// SharedHidden are the widths of the shared representation layers
+	// (the paper uses [512, 256]).
+	SharedHidden []int
+	// BranchHidden is the width of the single hidden layer in each
+	// advantage module and each state-value stream (the paper uses 128).
+	BranchHidden int
+	// Dropout is the drop probability applied after each fully
+	// connected hidden layer (the paper uses 0.5). Zero disables it.
+	Dropout float64
+	// SharedValue collapses the per-agent state-value streams into one
+	// stream shared by every agent — the ablation of Twig's multi-agent
+	// contribution (Sec. III-A introduces per-agent "state agents"
+	// precisely because simultaneous agents otherwise disturb each
+	// other's learning).
+	SharedValue bool
+}
+
+// Validate reports whether the spec is structurally usable.
+func (s Spec) Validate() error {
+	switch {
+	case s.StateDim <= 0:
+		return fmt.Errorf("bdq: StateDim = %d", s.StateDim)
+	case s.Agents <= 0:
+		return fmt.Errorf("bdq: Agents = %d", s.Agents)
+	case len(s.Dims) == 0:
+		return fmt.Errorf("bdq: no action dimensions")
+	case len(s.SharedHidden) == 0:
+		return fmt.Errorf("bdq: no shared hidden layers")
+	case s.BranchHidden <= 0:
+		return fmt.Errorf("bdq: BranchHidden = %d", s.BranchHidden)
+	}
+	for i, n := range s.Dims {
+		if n <= 0 {
+			return fmt.Errorf("bdq: Dims[%d] = %d", i, n)
+		}
+	}
+	return nil
+}
+
+// Network is one instance (online or target) of the multi-agent BDQ.
+type Network struct {
+	spec Spec
+
+	shared    *nn.Sequential   // input → shared representation
+	values    []*nn.Sequential // K state-value streams: hidden → 1
+	advHidden []*nn.Sequential // D shared advantage hidden layers
+	advOut    [][]*nn.Dense    // [K][D] per-agent linear output heads
+
+	// cached forward activations for Backward
+	lastShared *mat.Matrix
+	lastAdvHid []*mat.Matrix
+
+	// noRescale disables the 1/K and 1/D gradient rescaling so tests
+	// can compare Backward against exact finite differences.
+	noRescale bool
+}
+
+// Output holds the per-agent, per-dimension Q-values for a batch:
+// Q[k][d] is batch×Dims[d].
+type Output struct {
+	Q [][]*mat.Matrix
+}
+
+// NewNetwork builds a network with He-initialised weights drawn from rng.
+func NewNetwork(spec Spec, rng *rand.Rand) *Network {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Network{spec: spec}
+
+	var layers []nn.Layer
+	in := spec.StateDim
+	for i, h := range spec.SharedHidden {
+		layers = append(layers, nn.NewDense(fmt.Sprintf("shared%d", i), in, h, rng), nn.NewReLU())
+		if spec.Dropout > 0 {
+			layers = append(layers, nn.NewDropout(spec.Dropout, rng))
+		}
+		in = h
+	}
+	n.shared = nn.NewSequential(layers...)
+	repr := in
+
+	numValues := spec.Agents
+	if spec.SharedValue {
+		numValues = 1
+	}
+	for k := 0; k < numValues; k++ {
+		n.values = append(n.values, nn.NewSequential(
+			nn.NewDense(fmt.Sprintf("value%d.h", k), repr, spec.BranchHidden, rng),
+			nn.NewReLU(),
+			nn.NewDense(fmt.Sprintf("value%d.out", k), spec.BranchHidden, 1, rng),
+		))
+	}
+	for d := range spec.Dims {
+		n.advHidden = append(n.advHidden, nn.NewSequential(
+			nn.NewDense(fmt.Sprintf("adv%d.h", d), repr, spec.BranchHidden, rng),
+			nn.NewReLU(),
+		))
+	}
+	n.advOut = make([][]*nn.Dense, spec.Agents)
+	for k := 0; k < spec.Agents; k++ {
+		n.advOut[k] = make([]*nn.Dense, len(spec.Dims))
+		for d, na := range spec.Dims {
+			n.advOut[k][d] = nn.NewDense(fmt.Sprintf("adv%d.out%d", d, k), spec.BranchHidden, na, rng)
+		}
+	}
+	return n
+}
+
+// Spec returns the architecture description.
+func (n *Network) Spec() Spec { return n.spec }
+
+// Forward computes Q-values for a batch of states (rows = samples,
+// columns = StateDim). The dueling aggregation subtracts the per-row mean
+// advantage so V is identifiable: Q = V + A − mean(A).
+func (n *Network) Forward(states *mat.Matrix, train bool) *Output {
+	z := n.shared.Forward(states, train)
+	n.lastShared = z
+	n.lastAdvHid = make([]*mat.Matrix, len(n.spec.Dims))
+	for d := range n.spec.Dims {
+		n.lastAdvHid[d] = n.advHidden[d].Forward(z, train)
+	}
+	out := &Output{Q: make([][]*mat.Matrix, n.spec.Agents)}
+	// With SharedValue every agent reads the same V(s); forward it once.
+	var sharedV *mat.Matrix
+	if n.spec.SharedValue {
+		sharedV = n.values[0].Forward(z, train)
+	}
+	for k := 0; k < n.spec.Agents; k++ {
+		v := sharedV
+		if v == nil {
+			v = n.values[k].Forward(z, train) // batch×1
+		}
+		out.Q[k] = make([]*mat.Matrix, len(n.spec.Dims))
+		for d := range n.spec.Dims {
+			a := n.advOut[k][d].Forward(n.lastAdvHid[d], train)
+			q := mat.New(a.Rows, a.Cols)
+			means := a.RowMeans()
+			for b := 0; b < a.Rows; b++ {
+				vb := v.At(b, 0)
+				arow := a.Row(b)
+				qrow := q.Row(b)
+				for j := range qrow {
+					qrow[j] = vb + arow[j] - means[b]
+				}
+			}
+			out.Q[k][d] = q
+		}
+	}
+	return out
+}
+
+// Backward propagates the gradient of the loss with respect to every
+// Q output. gradQ must have the same shape as a Forward Output. It
+// applies the dueling decomposition, the 1/K rescale before the deepest
+// advantage layer, and the 1/D rescale before the shared representation.
+func (n *Network) Backward(gradQ [][]*mat.Matrix) {
+	if n.lastShared == nil {
+		panic("bdq: Backward before Forward")
+	}
+	batch := n.lastShared.Rows
+	repr := n.lastShared.Cols
+	sharedGrad := mat.New(batch, repr)
+	K := float64(n.spec.Agents)
+	D := float64(len(n.spec.Dims))
+	if n.noRescale {
+		K, D = 1, 1
+	}
+
+	// Per-agent value gradient: dQ/dV = 1 for every action of every
+	// dimension, so dV[b] = Σ_d Σ_a gradQ[k][d][b][a]. With SharedValue
+	// the single stream accumulates every agent's gradient.
+	if n.spec.SharedValue {
+		gv := mat.New(batch, 1)
+		for k := 0; k < n.spec.Agents; k++ {
+			for d := range n.spec.Dims {
+				g := gradQ[k][d]
+				for b := 0; b < batch; b++ {
+					gv.Data[b] += mat.Sum(g.Row(b))
+				}
+			}
+		}
+		gIn := n.values[0].Backward(gv)
+		mat.Add(sharedGrad, sharedGrad, gIn)
+	} else {
+		for k := 0; k < n.spec.Agents; k++ {
+			gv := mat.New(batch, 1)
+			for d := range n.spec.Dims {
+				g := gradQ[k][d]
+				for b := 0; b < batch; b++ {
+					gv.Data[b] += mat.Sum(g.Row(b))
+				}
+			}
+			gIn := n.values[k].Backward(gv)
+			mat.Add(sharedGrad, sharedGrad, gIn)
+		}
+	}
+
+	// Per-dimension advantage gradient. Because Q subtracts the mean
+	// advantage, dA[a] = g[a] − mean(g). The combined gradient from the
+	// K per-agent output heads is rescaled by 1/K before entering the
+	// deepest (hidden) advantage layer.
+	for d := range n.spec.Dims {
+		combined := mat.New(batch, n.spec.BranchHidden)
+		for k := 0; k < n.spec.Agents; k++ {
+			g := gradQ[k][d]
+			centered := mat.New(g.Rows, g.Cols)
+			means := g.RowMeans()
+			for b := 0; b < g.Rows; b++ {
+				grow := g.Row(b)
+				crow := centered.Row(b)
+				for j := range crow {
+					crow[j] = grow[j] - means[b]
+				}
+			}
+			gHid := n.advOut[k][d].Backward(centered)
+			mat.Add(combined, combined, gHid)
+		}
+		combined.Scale(1 / K)
+		gIn := n.advHidden[d].Backward(combined)
+		mat.Add(sharedGrad, sharedGrad, gIn)
+	}
+
+	sharedGrad.Scale(1 / D)
+	n.shared.Backward(sharedGrad)
+}
+
+// Params returns all learnable parameters in a deterministic order
+// (shared trunk, value streams, advantage hiddens, advantage heads).
+func (n *Network) Params() []*nn.Param {
+	ps := n.shared.Params()
+	for _, v := range n.values {
+		ps = append(ps, v.Params()...)
+	}
+	for _, a := range n.advHidden {
+		ps = append(ps, a.Params()...)
+	}
+	for _, row := range n.advOut {
+		for _, o := range row {
+			ps = append(ps, o.Params()...)
+		}
+	}
+	return ps
+}
+
+// ZeroGrad clears all parameter gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// CopyValuesFrom copies all parameter values from src (target-network
+// synchronisation). Architectures must match.
+func (n *Network) CopyValuesFrom(src *Network) {
+	dst := n.Params()
+	from := src.Params()
+	if len(dst) != len(from) {
+		panic("bdq: CopyValuesFrom architecture mismatch")
+	}
+	for i := range dst {
+		dst[i].CopyValueFrom(from[i])
+	}
+}
+
+// NumParams returns the number of scalar learnable parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.Value.Data)
+	}
+	return total
+}
+
+// MemoryBytes returns an estimate of the parameter memory footprint
+// (float64 weights), used by the memory-complexity experiment.
+func (n *Network) MemoryBytes() int { return n.NumParams() * 8 }
+
+// OutputParams returns the parameters of the final (output) layers: the
+// per-agent value heads and per-agent advantage heads. Transfer learning
+// re-initialises exactly these.
+func (n *Network) OutputParams() []*nn.Param {
+	var ps []*nn.Param
+	for _, v := range n.values {
+		// last Dense of the value stream
+		last := v.Layers[len(v.Layers)-1].(*nn.Dense)
+		ps = append(ps, last.Params()...)
+	}
+	for _, row := range n.advOut {
+		for _, o := range row {
+			ps = append(ps, o.Params()...)
+		}
+	}
+	return ps
+}
+
+// ReinitOutputLayers randomises the final layers (transfer learning,
+// Sec. IV): the trained shared representation and hidden layers are kept
+// while the specialised output heads are re-drawn.
+func (n *Network) ReinitOutputLayers(rng *rand.Rand) {
+	for _, v := range n.values {
+		v.Layers[len(v.Layers)-1].(*nn.Dense).InitHe(rng)
+	}
+	for _, row := range n.advOut {
+		for _, o := range row {
+			o.InitHe(rng)
+		}
+	}
+	nn.ResetMoments(n.OutputParams())
+}
+
+// GreedyActions returns, for each agent and dimension, the argmax action
+// of the (single-row) forward output.
+func (o *Output) GreedyActions() [][]int {
+	acts := make([][]int, len(o.Q))
+	for k := range o.Q {
+		acts[k] = make([]int, len(o.Q[k]))
+		for d := range o.Q[k] {
+			acts[k][d] = mat.Argmax(o.Q[k][d].Row(0))
+		}
+	}
+	return acts
+}

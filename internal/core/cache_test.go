@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/twig-sched/twig/internal/bdq"
+	"github.com/twig-sched/twig/internal/sim/platform"
+)
+
+func cacheManager() *Manager {
+	cfg := Config{
+		Services: []ServiceConfig{
+			{Name: "a", QoSTargetMs: 5, MaxLoadRPS: 1000},
+			{Name: "b", QoSTargetMs: 5, MaxLoadRPS: 1000},
+		},
+		MaxPowerW:   100,
+		ManageCache: true,
+		Agent: bdq.AgentConfig{
+			Spec:      bdq.Spec{SharedHidden: []int{16, 12}, BranchHidden: 8},
+			BatchSize: 8,
+			Seed:      1,
+		},
+	}
+	return NewManager(cfg, coresRange(18))
+}
+
+func TestManageCacheAddsThirdBranch(t *testing.T) {
+	m := cacheManager()
+	spec := m.Agent().Config().Spec
+	if len(spec.Dims) != 3 {
+		t.Fatalf("dims = %v", spec.Dims)
+	}
+	if spec.Dims[2] != platform.NumCacheWays {
+		t.Fatalf("cache dim = %d, want %d", spec.Dims[2], platform.NumCacheWays)
+	}
+}
+
+func TestManageCacheRequestsWays(t *testing.T) {
+	m := cacheManager()
+	asg := m.Decide(obsFor(2, 3))
+	for k, a := range asg.PerService {
+		if a.CacheWays < 1 || a.CacheWays > platform.NumCacheWays {
+			t.Fatalf("service %d cache ways = %d", k, a.CacheWays)
+		}
+	}
+}
+
+func TestMapperPassesCacheWays(t *testing.T) {
+	mapper := NewMapper(coresRange(10))
+	asg := mapper.Map([]Request{
+		{Cores: 3, FreqGHz: 1.6, CacheWays: 7},
+		{Cores: 4, FreqGHz: 1.8, CacheWays: 12},
+	})
+	if asg.PerService[0].CacheWays != 7 || asg.PerService[1].CacheWays != 12 {
+		t.Fatalf("cache ways lost: %+v", asg.PerService)
+	}
+	// Overcommitted (shared) path keeps them too.
+	shared := mapper.Map([]Request{
+		{Cores: 8, FreqGHz: 1.6, CacheWays: 5},
+		{Cores: 6, FreqGHz: 1.8, CacheWays: 9},
+	})
+	if shared.PerService[0].CacheWays != 5 || shared.PerService[1].CacheWays != 9 {
+		t.Fatalf("cache ways lost under arbitration: %+v", shared.PerService)
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/sim/pmc"
+)
+
+func TestMonitorSmoothing(t *testing.T) {
+	m := NewMonitor(1, 3)
+	mk := func(v float64) pmc.Sample {
+		var s pmc.Sample
+		for i := range s {
+			s[i] = v
+		}
+		return s
+	}
+	s1 := m.Observe([]pmc.Sample{mk(1)})
+	if len(s1) != int(pmc.NumCounters) {
+		t.Fatalf("state dim = %d", len(s1))
+	}
+	if s1[0] != 1 {
+		t.Fatalf("single sample smoothing = %v", s1[0])
+	}
+	m.Observe([]pmc.Sample{mk(0)})
+	s3 := m.Observe([]pmc.Sample{mk(0)})
+	// Weights 1,2,3 over values 1,0,0 → 1/6.
+	if math.Abs(s3[0]-1.0/6) > 1e-12 {
+		t.Fatalf("weighted smoothing = %v, want 1/6", s3[0])
+	}
+	// Window slides: a fourth zero evicts the 1.
+	s4 := m.Observe([]pmc.Sample{mk(0)})
+	if s4[0] != 0 {
+		t.Fatalf("window should have evicted old sample: %v", s4[0])
+	}
+	m.Reset()
+	if m.State()[0] != 0 {
+		t.Fatal("Reset must clear history")
+	}
+	if m.StateDim() != int(pmc.NumCounters) {
+		t.Fatal("StateDim")
+	}
+}
+
+func TestMonitorNewestWeighsMost(t *testing.T) {
+	m := NewMonitor(1, 5)
+	var lo, hi pmc.Sample
+	hi[0] = 1
+	m.Observe([]pmc.Sample{hi})
+	state := m.Observe([]pmc.Sample{lo})
+	// History [1, 0] with weights [1, 2] → 1/3; newest (0) dominates.
+	if state[0] >= 0.5 {
+		t.Fatalf("newest sample must dominate, got %v", state[0])
+	}
+}
+
+func TestMonitorMultiService(t *testing.T) {
+	m := NewMonitor(2, 5)
+	var a, b pmc.Sample
+	a[0], b[0] = 0.25, 0.75
+	state := m.Observe([]pmc.Sample{a, b})
+	if len(state) != 2*int(pmc.NumCounters) {
+		t.Fatalf("state dim = %d", len(state))
+	}
+	if state[0] != 0.25 || state[int(pmc.NumCounters)] != 0.75 {
+		t.Fatal("per-service blocks misplaced")
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMonitor(0, 5)
+}
+
+func TestRewardEquation1(t *testing.T) {
+	cfg := DefaultRewardConfig()
+	// Met: r = ratio + θ·powerRew.
+	if got := cfg.Reward(0.8, 4); math.Abs(got-(0.8+0.5*4)) > 1e-12 {
+		t.Fatalf("met reward = %v", got)
+	}
+	// Exactly at target still counts as met.
+	if got := cfg.Reward(1.0, 2); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("boundary reward = %v", got)
+	}
+	// Mild violation: −ratio³.
+	if got := cfg.Reward(2, 10); math.Abs(got-(-8)) > 1e-12 {
+		t.Fatalf("violation reward = %v", got)
+	}
+	// Deep violation capped at ϕ = −100.
+	if got := cfg.Reward(10, 10); got != -100 {
+		t.Fatalf("capped reward = %v", got)
+	}
+	// A better (lower) power estimate must earn more when QoS is met.
+	if cfg.Reward(0.8, 8) <= cfg.Reward(0.8, 2) {
+		t.Fatal("power savings must increase the reward")
+	}
+	// Just meeting the target earns more than overshooting it
+	// (the QoS term encourages configurations that just meet QoS).
+	if cfg.Reward(0.95, 3) <= cfg.Reward(0.2, 3) {
+		t.Fatal("just-meeting must beat overshooting at equal power")
+	}
+}
+
+func TestPowerModelEstimate(t *testing.T) {
+	m := &PowerModel{Kappa: 10, Sigma: 0.5, Omega: 2}
+	// 10·0.5 + 0.5·8 + 4·1.5 = 15.
+	if got := m.Estimate(0.5, 8, 1.5); math.Abs(got-15) > 1e-12 {
+		t.Fatalf("Estimate = %v", got)
+	}
+	neg := &PowerModel{Kappa: -100}
+	if neg.Estimate(1, 0, 0) != 0 {
+		t.Fatal("estimate must clamp at 0")
+	}
+}
+
+func TestFitPowerModelRecoversPlantedCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var samples []PowerSample
+	for load := 0.2; load <= 0.8; load += 0.3 {
+		for cores := 2; cores <= 18; cores += 4 {
+			for f := 1.2; f <= 2.01; f += 0.2 {
+				truth := 20*load + 1.5*float64(cores) + 9*f
+				samples = append(samples, PowerSample{
+					LoadFrac: load, Cores: cores, FreqGHz: f,
+					DynamicW: truth + rng.NormFloat64()*0.1,
+				})
+			}
+		}
+	}
+	m, err := FitPowerModel(samples, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Kappa-20) > 1 || math.Abs(m.Sigma-1.5) > 0.2 || math.Abs(m.Omega*m.Omega-9) > 1 {
+		t.Fatalf("fit κ=%v σ=%v ω²=%v", m.Kappa, m.Sigma, m.Omega*m.Omega)
+	}
+	if m.R2 < 0.99 {
+		t.Fatalf("R² = %v", m.R2)
+	}
+	if m.IdleW != 30 {
+		t.Fatal("idle baseline not recorded")
+	}
+}
+
+func TestFitPowerModelTooFewSamples(t *testing.T) {
+	if _, err := FitPowerModel(make([]PowerSample, 3), 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFitPowerModelNegativeFreqCoefficient(t *testing.T) {
+	// A decreasing-in-frequency plant must yield ω = 0 (ω² can never be
+	// negative in Eq. 2).
+	rng := rand.New(rand.NewSource(2))
+	var samples []PowerSample
+	for i := 0; i < 60; i++ {
+		f := 1.2 + rng.Float64()*0.8
+		samples = append(samples, PowerSample{
+			LoadFrac: rng.Float64(), Cores: 4, FreqGHz: f,
+			DynamicW: 20 - 5*f,
+		})
+	}
+	m, err := FitPowerModel(samples, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Omega != 0 {
+		t.Fatalf("Omega = %v, want 0 for negative frequency effect", m.Omega)
+	}
+}

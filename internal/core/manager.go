@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/twig-sched/twig/internal/bdq"
+	"github.com/twig-sched/twig/internal/ctrl"
+	"github.com/twig-sched/twig/internal/replay"
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/platform"
+	"github.com/twig-sched/twig/internal/sim/pmc"
+)
+
+// ServiceConfig is what Twig must know about one managed service: its
+// QoS target, the profiled maximum load (used to express load as a
+// fraction in the Eq. 2 power model) and the fitted power model itself.
+type ServiceConfig struct {
+	Name        string
+	QoSTargetMs float64
+	MaxLoadRPS  float64
+	// Power is the fitted Eq. 2 model. When nil, a generic fallback
+	// (per-core linear estimate) is used so Twig remains a drop-in
+	// manager even before profiling.
+	Power *PowerModel
+}
+
+// Config configures a Twig manager. NewManager fills the BDQ spec
+// (state dimension, agents, action dimensions) automatically.
+type Config struct {
+	Services []ServiceConfig
+	// NumCores is the size of the managed socket.
+	NumCores int
+	// MaxPowerW is the stress-microbenchmark power used to normalise
+	// the power reward.
+	MaxPowerW float64
+	// Eta is the PMC smoothing window (Sec. III-B1; the paper uses 5).
+	Eta int
+	// Reward holds the Eq. 1 parameters.
+	Reward RewardConfig
+	// Agent carries the learning hyper-parameters; its Spec is
+	// overwritten by NewManager.
+	Agent bdq.AgentConfig
+	// PureExploitAfter, when positive, switches to pure exploitation
+	// (greedy actions, no gradient descent) after that many steps, the
+	// low-overhead mode recommended in Sec. V.
+	PureExploitAfter int
+	// ManageCache adds a third action branch per agent that partitions
+	// the LLC with Intel CAT-style way reservations — the extension the
+	// paper anticipates in its D=3 memory-complexity example but could
+	// not enable on its production servers.
+	ManageCache bool
+}
+
+// DefaultConfig returns the paper's Twig configuration for the given
+// services on an 18-core socket.
+func DefaultConfig(services []ServiceConfig, numCores int, maxPowerW float64) Config {
+	return Config{
+		Services:  services,
+		NumCores:  numCores,
+		MaxPowerW: maxPowerW,
+		Eta:       5,
+		Reward:    DefaultRewardConfig(),
+		Agent: bdq.AgentConfig{
+			UsePER: true,
+		},
+	}
+}
+
+// Manager is the Twig task manager: system monitor + multi-agent BDQ
+// learning agent + mapper module, run as one Decide call per monitoring
+// interval (Algorithm 1). It implements ctrl.Controller; Twig-S is a
+// Manager over one service, Twig-C over several.
+type Manager struct {
+	cfg     Config
+	monitor *Monitor
+	agent   *bdq.Agent
+	mapper  *Mapper
+
+	prevState   []float64
+	prevActions [][]int
+	prevReqs    []Request
+	lastAsg     sim.Assignment
+
+	steps      int
+	migrations int
+	lastLoss   float64
+}
+
+// NewManager builds a Twig manager over the given managed cores.
+func NewManager(cfg Config, managedCores []int) *Manager {
+	if len(cfg.Services) == 0 {
+		panic("core: no services configured")
+	}
+	if cfg.Eta <= 0 {
+		cfg.Eta = 5
+	}
+	if cfg.Reward == (RewardConfig{}) {
+		cfg.Reward = DefaultRewardConfig()
+	}
+	if cfg.NumCores == 0 {
+		cfg.NumCores = len(managedCores)
+	}
+	k := len(cfg.Services)
+	dims := []int{cfg.NumCores, platform.NumFreqSteps}
+	if cfg.ManageCache {
+		dims = append(dims, platform.NumCacheWays)
+	}
+	cfg.Agent.Spec = bdq.Spec{
+		StateDim:     k * int(pmc.NumCounters),
+		Agents:       k,
+		Dims:         dims,
+		SharedHidden: cfg.Agent.Spec.SharedHidden,
+		BranchHidden: cfg.Agent.Spec.BranchHidden,
+		Dropout:      cfg.Agent.Spec.Dropout,
+		SharedValue:  cfg.Agent.Spec.SharedValue,
+	}
+	if cfg.Agent.Spec.SharedHidden == nil {
+		cfg.Agent.Spec.SharedHidden = []int{512, 256}
+	}
+	if cfg.Agent.Spec.BranchHidden == 0 {
+		cfg.Agent.Spec.BranchHidden = 128
+	}
+	return &Manager{
+		cfg:     cfg,
+		monitor: NewMonitor(k, cfg.Eta),
+		agent:   bdq.NewAgent(cfg.Agent),
+		mapper:  NewMapper(managedCores),
+	}
+}
+
+// Name implements ctrl.Controller.
+func (m *Manager) Name() string {
+	if len(m.cfg.Services) == 1 {
+		return "twig-s"
+	}
+	return "twig-c"
+}
+
+// Agent exposes the learning agent (experiments inspect ε and step
+// counts).
+func (m *Manager) Agent() *bdq.Agent { return m.agent }
+
+// Migrations returns the cumulative count of per-service core-set
+// changes, the oscillation metric of Sec. V-B1.
+func (m *Manager) Migrations() int { return m.migrations }
+
+// LastLoss returns the most recent training minibatch loss.
+func (m *Manager) LastLoss() float64 { return m.lastLoss }
+
+// pureExploit reports whether the manager is past its learning phase.
+func (m *Manager) pureExploit() bool {
+	return m.cfg.PureExploitAfter > 0 && m.steps >= m.cfg.PureExploitAfter
+}
+
+// Decide implements Algorithm 1 for one monitoring interval: observe the
+// state s (smoothed PMCs), reward the previous action from the observed
+// QoS and estimated per-service power, train, and emit the mapping for
+// the next interval.
+func (m *Manager) Decide(obs ctrl.Observation) sim.Assignment {
+	if len(obs.Services) != len(m.cfg.Services) {
+		panic(fmt.Sprintf("core: observation has %d services, manager %d",
+			len(obs.Services), len(m.cfg.Services)))
+	}
+	samples := make([]pmc.Sample, len(obs.Services))
+	for k, s := range obs.Services {
+		samples[k] = s.NormPMCs
+	}
+	state := m.monitor.Observe(samples)
+
+	if m.prevState != nil && !m.pureExploit() {
+		rewards := make([]float64, len(obs.Services))
+		for k, s := range obs.Services {
+			rewards[k] = m.rewardFor(k, s)
+		}
+		flat := make([]int, 0, len(m.prevActions)*2)
+		for _, a := range m.prevActions {
+			flat = append(flat, a...)
+		}
+		m.lastLoss = m.agent.Observe(replay.Transition{
+			State:     m.prevState,
+			Actions:   flat,
+			Rewards:   rewards,
+			NextState: state,
+		})
+	}
+
+	var actions [][]int
+	if m.pureExploit() {
+		actions = m.agent.SelectGreedy(state)
+	} else {
+		actions = m.agent.SelectActions(state)
+	}
+	reqs := make([]Request, len(actions))
+	for k, a := range actions {
+		reqs[k] = Request{Cores: a[0] + 1, FreqGHz: platform.FreqForStep(a[1])}
+		if m.cfg.ManageCache {
+			reqs[k].CacheWays = a[2] + 1
+		}
+	}
+	asg := m.mapper.Map(reqs)
+	m.countMigrations(asg)
+
+	m.prevState = state
+	m.prevActions = actions
+	m.prevReqs = reqs
+	m.lastAsg = asg
+	m.steps++
+	return asg
+}
+
+// rewardFor computes Eq. 1 for service k given the interval outcome.
+func (m *Manager) rewardFor(k int, s ctrl.ServiceObs) float64 {
+	qosRatio := s.Tardiness()
+	svc := m.cfg.Services[k]
+	loadFrac := 0.0
+	if svc.MaxLoadRPS > 0 {
+		loadFrac = s.MeasuredRPS / svc.MaxLoadRPS
+	}
+	req := m.prevReqs[k]
+	var est float64
+	if svc.Power != nil {
+		est = svc.Power.Estimate(loadFrac, req.Cores, req.FreqGHz)
+	} else {
+		// Fallback first-order estimate: ~1.5 W per core plus a small
+		// frequency term, keeps Power_rew well-scaled before profiling.
+		est = 1.5*float64(req.Cores) + 2*req.FreqGHz + 5*loadFrac
+	}
+	if est < 1 {
+		est = 1
+	}
+	powerRew := m.cfg.MaxPowerW / est
+	return m.cfg.Reward.Reward(qosRatio, powerRew)
+}
+
+func (m *Manager) countMigrations(asg sim.Assignment) {
+	if m.lastAsg.PerService == nil {
+		return
+	}
+	for k := range asg.PerService {
+		if !sameCores(m.lastAsg.PerService[k].Cores, asg.PerService[k].Cores) {
+			m.migrations++
+		}
+	}
+}
+
+func sameCores(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer applies transfer learning (Sec. IV): the output layers of the
+// BDQ are re-initialised, exploration restarts at the given ε-schedule
+// step, and the monitor history is cleared. Call it after swapping in a
+// new service (update the ServiceConfig first via SetService).
+func (m *Manager) Transfer(restartStep int) {
+	m.agent.Transfer(restartStep)
+	m.monitor.Reset()
+	m.prevState = nil
+	m.prevActions = nil
+}
+
+// SetService replaces the configuration of service k (QoS target, max
+// load, power model) when a new service is swapped onto the node.
+func (m *Manager) SetService(k int, cfg ServiceConfig) {
+	m.cfg.Services[k] = cfg
+}
+
+// ResetLearningState clears the (s, a) memory so the next Decide does
+// not reward across a discontinuity (e.g. an experiment phase change).
+func (m *Manager) ResetLearningState() {
+	m.prevState = nil
+	m.prevActions = nil
+}
+
+// Save persists the learned network weights.
+func (m *Manager) Save(w io.Writer) error { return m.agent.Save(w) }
+
+// Load restores network weights saved by Save.
+func (m *Manager) Load(r io.Reader) error { return m.agent.Load(r) }

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/platform"
+)
+
+// Request is one service's resource request from the learning agent.
+type Request struct {
+	Cores   int
+	FreqGHz float64
+	// CacheWays is the optional CAT partition request (0 = unmanaged).
+	CacheWays int
+}
+
+// Mapper implements the mapper module of Sec. III-B3: it turns per-
+// service (core count, DVFS) requests into concrete core assignments. It
+// (1) prioritises core ordering for cache locality by spreading each
+// service over its own socket region with stride-2 placement, (2) sets
+// the DVFS state of allocated cores, (3) drops the remaining cores to
+// the lowest DVFS state, and (4) arbitrates conflicting requests by
+// time-sharing the overlapping cores at the highest requested DVFS
+// state (Sec. IV, Resource Arbitration).
+type Mapper struct {
+	cores []int // managed core IDs, ascending
+}
+
+// NewMapper creates a mapper over the given managed cores.
+func NewMapper(managedCores []int) *Mapper {
+	if len(managedCores) == 0 {
+		panic("core: mapper needs at least one core")
+	}
+	cp := append([]int(nil), managedCores...)
+	sort.Ints(cp)
+	return &Mapper{cores: cp}
+}
+
+// NumCores returns the number of managed cores.
+func (m *Mapper) NumCores() int { return len(m.cores) }
+
+// Map produces the next interval's assignment from the per-service
+// requests.
+func (m *Mapper) Map(reqs []Request) sim.Assignment {
+	n := len(m.cores)
+	total := 0
+	for i, r := range reqs {
+		if r.Cores < 1 || r.Cores > n {
+			panic(fmt.Sprintf("core: request %d wants %d of %d cores", i, r.Cores, n))
+		}
+		total += r.Cores
+	}
+	asg := sim.Assignment{
+		PerService:  make([]sim.Allocation, len(reqs)),
+		IdleFreqGHz: platform.MinFreqGHz,
+	}
+	if total <= n {
+		m.mapDisjoint(reqs, &asg)
+	} else {
+		m.mapShared(reqs, &asg)
+	}
+	return asg
+}
+
+// mapDisjoint places each service in its own region of the socket with
+// stride-2 ordering inside the region to improve cache locality, as in
+// the paper's example (sv-1 on cores 0,2,4 and sv-2 on 10,12,14,16).
+func (m *Mapper) mapDisjoint(reqs []Request, asg *sim.Assignment) {
+	n := len(m.cores)
+	k := len(reqs)
+	// Region boundaries: proportional to request sizes so large
+	// requests get large regions, with every region at least as big as
+	// its request (total ≤ n guarantees feasibility).
+	total := 0
+	for _, r := range reqs {
+		total += r.Cores
+	}
+	start := 0
+	for i, r := range reqs {
+		size := r.Cores + (n-total)*r.Cores/max(total, 1)
+		if i == k-1 || start+size > n {
+			size = n - start
+		}
+		region := m.cores[start : start+size]
+		asg.PerService[i] = sim.Allocation{
+			Cores:     pickStride2(region, r.Cores),
+			FreqGHz:   r.FreqGHz,
+			CacheWays: r.CacheWays,
+		}
+		start += size
+	}
+}
+
+// pickStride2 selects count cores from region, preferring every other
+// core (0, 2, 4, …) and filling in the odd positions only when needed.
+func pickStride2(region []int, count int) []int {
+	out := make([]int, 0, count)
+	for i := 0; i < len(region) && len(out) < count; i += 2 {
+		out = append(out, region[i])
+	}
+	for i := 1; i < len(region) && len(out) < count; i += 2 {
+		out = append(out, region[i])
+	}
+	sort.Ints(out)
+	return out
+}
+
+// mapShared arbitrates an over-committed request set: services are laid
+// out consecutively on a ring of cores, so the overflow wraps around and
+// overlapping cores are time-shared. The platform runs each shared core
+// at the highest DVFS state among its owners' requests (Sec. IV,
+// Resource Arbitration).
+func (m *Mapper) mapShared(reqs []Request, asg *sim.Assignment) {
+	n := len(m.cores)
+	pos := 0
+	for i, r := range reqs {
+		ids := make([]int, 0, r.Cores)
+		for j := 0; j < r.Cores; j++ {
+			ids = append(ids, m.cores[(pos+j)%n])
+		}
+		sort.Ints(ids)
+		asg.PerService[i] = sim.Allocation{Cores: ids, FreqGHz: r.FreqGHz, CacheWays: r.CacheWays}
+		pos = (pos + r.Cores) % n
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/twig-sched/twig/internal/sim/platform"
+)
+
+func coresRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = 18 + i // socket-1 style IDs
+	}
+	return out
+}
+
+func TestMapperSingleService(t *testing.T) {
+	m := NewMapper(coresRange(18))
+	asg := m.Map([]Request{{Cores: 3, FreqGHz: 1.6}})
+	a := asg.PerService[0]
+	if len(a.Cores) != 3 || a.FreqGHz != 1.6 {
+		t.Fatalf("allocation = %+v", a)
+	}
+	// Stride-2 locality: 18, 20, 22.
+	want := []int{18, 20, 22}
+	for i, c := range a.Cores {
+		if c != want[i] {
+			t.Fatalf("cores = %v, want %v", a.Cores, want)
+		}
+	}
+	if asg.IdleFreqGHz != platform.MinFreqGHz {
+		t.Fatal("idle cores must drop to the lowest DVFS state")
+	}
+}
+
+func TestMapperTwoServicesDisjoint(t *testing.T) {
+	m := NewMapper(coresRange(16))
+	asg := m.Map([]Request{
+		{Cores: 3, FreqGHz: 1.6},
+		{Cores: 4, FreqGHz: 1.8},
+	})
+	seen := map[int]int{}
+	for _, alloc := range asg.PerService {
+		for _, c := range alloc.Cores {
+			seen[c]++
+		}
+	}
+	for c, n := range seen {
+		if n > 1 {
+			t.Fatalf("core %d assigned %d times in a feasible mapping", c, n)
+		}
+	}
+	// Services occupy separate regions (paper's example: sv-1 low cores,
+	// sv-2 high cores).
+	max0 := asg.PerService[0].Cores[len(asg.PerService[0].Cores)-1]
+	min1 := asg.PerService[1].Cores[0]
+	if max0 >= min1 {
+		t.Fatalf("regions overlap: sv0 up to %d, sv1 from %d", max0, min1)
+	}
+}
+
+func TestMapperFillsOddPositionsWhenDense(t *testing.T) {
+	m := NewMapper(coresRange(8))
+	asg := m.Map([]Request{{Cores: 6, FreqGHz: 2.0}})
+	if len(asg.PerService[0].Cores) != 6 {
+		t.Fatalf("cores = %v", asg.PerService[0].Cores)
+	}
+}
+
+func TestMapperArbitrationOverlap(t *testing.T) {
+	// Paper example: 10 cores, sv-1 wants 8 @1.2, sv-2 wants 5 @2.0 →
+	// 3 cores time-shared.
+	m := NewMapper(coresRange(10))
+	asg := m.Map([]Request{
+		{Cores: 8, FreqGHz: 1.2},
+		{Cores: 5, FreqGHz: 2.0},
+	})
+	if len(asg.PerService[0].Cores) != 8 || len(asg.PerService[1].Cores) != 5 {
+		t.Fatalf("requested core counts must be honoured: %v / %v",
+			asg.PerService[0].Cores, asg.PerService[1].Cores)
+	}
+	shared := map[int]bool{}
+	owners := map[int]int{}
+	for _, alloc := range asg.PerService {
+		for _, c := range alloc.Cores {
+			owners[c]++
+			if owners[c] > 1 {
+				shared[c] = true
+			}
+		}
+	}
+	if len(shared) != 3 {
+		t.Fatalf("expected 3 time-shared cores, got %d", len(shared))
+	}
+}
+
+func TestMapperRequestValidation(t *testing.T) {
+	m := NewMapper(coresRange(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized request")
+		}
+	}()
+	m.Map([]Request{{Cores: 5, FreqGHz: 2.0}})
+}
+
+func TestMapperEmptyCoresPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMapper(nil)
+}
+
+func TestPickStride2(t *testing.T) {
+	region := []int{0, 1, 2, 3, 4, 5}
+	got := pickStride2(region, 3)
+	want := []int{0, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pickStride2 = %v", got)
+		}
+	}
+	// Needing more than the even positions fills odd ones too.
+	got = pickStride2(region, 5)
+	if len(got) != 5 {
+		t.Fatalf("pickStride2 dense = %v", got)
+	}
+}

@@ -1,0 +1,79 @@
+// Package core implements the Twig task manager of Sec. III: the system
+// monitor (per-service PMC gathering with η-step weighted smoothing and
+// feature scaling), the reward function of Eq. 1 backed by the Eq. 2
+// per-service power model, the mapper module (cache-local core ordering,
+// DVFS programming, resource arbitration), and the Algorithm 1 control
+// loop around the multi-agent BDQ. Twig-S and Twig-C are the same
+// manager instantiated with one or several services.
+package core
+
+import (
+	"github.com/twig-sched/twig/internal/sim/pmc"
+)
+
+// Monitor smooths each service's normalised PMC vector over the last η
+// monitoring intervals with linearly decaying weights (most recent
+// sample heaviest), as described in Sec. III-B1. The paper found η = 5
+// to work best.
+type Monitor struct {
+	eta     int
+	history [][]pmc.Sample // per service, most recent last
+}
+
+// NewMonitor creates a monitor for k services with window η.
+func NewMonitor(k, eta int) *Monitor {
+	if k <= 0 || eta <= 0 {
+		panic("core: invalid monitor parameters")
+	}
+	return &Monitor{eta: eta, history: make([][]pmc.Sample, k)}
+}
+
+// Observe records the latest normalised samples (one per service) and
+// returns the concatenated smoothed state vector of length
+// k × NumCounters, each entry in [0, 1].
+func (m *Monitor) Observe(samples []pmc.Sample) []float64 {
+	if len(samples) != len(m.history) {
+		panic("core: sample count mismatch")
+	}
+	for k, s := range samples {
+		m.history[k] = append(m.history[k], s)
+		if len(m.history[k]) > m.eta {
+			m.history[k] = m.history[k][1:]
+		}
+	}
+	return m.State()
+}
+
+// State returns the current smoothed state without adding a sample.
+func (m *Monitor) State() []float64 {
+	out := make([]float64, 0, len(m.history)*int(pmc.NumCounters))
+	for _, h := range m.history {
+		var smoothed pmc.Sample
+		if n := len(h); n > 0 {
+			var wsum float64
+			for j, s := range h {
+				w := float64(j + 1) // oldest weight 1 … newest weight n
+				wsum += w
+				for c := range smoothed {
+					smoothed[c] += w * s[c]
+				}
+			}
+			for c := range smoothed {
+				smoothed[c] /= wsum
+			}
+		}
+		out = append(out, smoothed[:]...)
+	}
+	return out
+}
+
+// Reset clears the history (e.g. when a service is swapped in transfer
+// learning experiments).
+func (m *Monitor) Reset() {
+	for k := range m.history {
+		m.history[k] = nil
+	}
+}
+
+// StateDim returns the length of the state vector.
+func (m *Monitor) StateDim() int { return len(m.history) * int(pmc.NumCounters) }

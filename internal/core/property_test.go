@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/twig-sched/twig/internal/sim/platform"
+	"github.com/twig-sched/twig/internal/sim/pmc"
+)
+
+// Property: the mapper always honours every request exactly — correct
+// core counts, every core within the managed set, the requested DVFS —
+// and produces disjoint allocations whenever the total fits.
+func TestMapperInvariants(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(15) // 4..18 managed cores
+		cores := make([]int, n)
+		for i := range cores {
+			cores[i] = 100 + i
+		}
+		m := NewMapper(cores)
+		k := 1 + rng.Intn(3)
+		reqs := make([]Request, k)
+		total := 0
+		for i := range reqs {
+			reqs[i] = Request{
+				Cores:   1 + rng.Intn(n),
+				FreqGHz: platform.FreqForStep(rng.Intn(platform.NumFreqSteps)),
+			}
+			total += reqs[i].Cores
+		}
+		asg := m.Map(reqs)
+		seen := map[int]int{}
+		for i, alloc := range asg.PerService {
+			if len(alloc.Cores) != reqs[i].Cores {
+				return false
+			}
+			if alloc.FreqGHz != reqs[i].FreqGHz {
+				return false
+			}
+			for _, c := range alloc.Cores {
+				if c < 100 || c >= 100+n {
+					return false
+				}
+				seen[c]++
+			}
+		}
+		if total <= n {
+			for _, owners := range seen {
+				if owners > 1 {
+					return false // disjoint when feasible
+				}
+			}
+		}
+		return asg.IdleFreqGHz == platform.MinFreqGHz
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the monitor's smoothed state stays inside [0,1] for
+// normalised inputs and has the fixed dimensionality.
+func TestMonitorBoundsProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(2))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		m := NewMonitor(k, 1+rng.Intn(8))
+		for step := 0; step < 12; step++ {
+			samples := make([]pmc.Sample, k)
+			for i := range samples {
+				for c := range samples[i] {
+					samples[i][c] = rng.Float64()
+				}
+			}
+			state := m.Observe(samples)
+			if len(state) != k*int(pmc.NumCounters) {
+				return false
+			}
+			for _, v := range state {
+				if v < 0 || v > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Eq. 1's reward is monotone — more power savings never hurt
+// when QoS is met, and deeper violations never earn more.
+func TestRewardMonotonicityProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}
+	rc := DefaultRewardConfig()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Met: increasing powerRew must not decrease the reward.
+		ratio := rng.Float64() // ≤ 1 → met
+		p1 := rng.Float64() * 20
+		p2 := p1 + rng.Float64()*20
+		if rc.Reward(ratio, p2) < rc.Reward(ratio, p1) {
+			return false
+		}
+		// Violated: increasing tardiness must not increase the reward.
+		v1 := 1 + rng.Float64()*5
+		v2 := v1 + rng.Float64()*5
+		if rc.Reward(v2, p1) > rc.Reward(v1, p1) {
+			return false
+		}
+		// The floor is a hard bound.
+		return rc.Reward(1000, p1) >= rc.Floor
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the power model estimate is non-negative and monotone in
+// each Eq. 2 term when the fitted coefficients are non-negative.
+func TestPowerModelMonotoneProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(4))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &PowerModel{
+			Kappa:  rng.Float64() * 50,
+			Sigma:  rng.Float64() * 2,
+			Omega:  rng.Float64() * 5,
+			Offset: rng.Float64()*20 - 10,
+		}
+		load := rng.Float64()
+		c := 1 + rng.Intn(18)
+		fq := 1.2 + rng.Float64()*0.8
+		base := m.Estimate(load, c, fq)
+		if base < 0 {
+			return false
+		}
+		return m.Estimate(load, c+1, fq) >= base &&
+			m.Estimate(load, c, fq+0.1) >= base &&
+			m.Estimate(load+0.01, c, fq) >= base
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import "math"
+
+// RewardConfig holds the Eq. 1 parameters. The paper's empirically best
+// values are θ = 0.5, φ = 3, ϕ = −100.
+type RewardConfig struct {
+	// Theta balances QoS against power savings.
+	Theta float64
+	// Phi is the exponent of the violation penalty.
+	Phi float64
+	// Floor (ϕ) caps the negative reward.
+	Floor float64
+}
+
+// DefaultRewardConfig returns the paper's θ, φ, ϕ.
+func DefaultRewardConfig() RewardConfig {
+	return RewardConfig{Theta: 0.5, Phi: 3, Floor: -100}
+}
+
+// Reward computes Eq. 1 for one service.
+//
+//	r = QoSrew + θ·Powerrew        if QoS ≤ target
+//	r = max(−QoSrew^φ, ϕ)          otherwise
+//
+// qosRatio is measured QoS over target (QoSrew); powerRew is the ratio
+// of the maximum measured system power to the estimated power of this
+// service (larger = more savings).
+func (c RewardConfig) Reward(qosRatio, powerRew float64) float64 {
+	if qosRatio <= 1 {
+		return qosRatio + c.Theta*powerRew
+	}
+	penalty := -math.Pow(qosRatio, c.Phi)
+	if penalty < c.Floor {
+		penalty = c.Floor
+	}
+	return penalty
+}

@@ -1,0 +1,29 @@
+package ctrl
+
+import "testing"
+
+func TestQoSMetAndTardiness(t *testing.T) {
+	s := ServiceObs{P99Ms: 4, QoSTargetMs: 5}
+	if !s.QoSMet() {
+		t.Fatal("4 ≤ 5 must meet QoS")
+	}
+	if got := s.Tardiness(); got != 0.8 {
+		t.Fatalf("Tardiness = %v", got)
+	}
+	v := ServiceObs{P99Ms: 10, QoSTargetMs: 5}
+	if v.QoSMet() {
+		t.Fatal("10 > 5 must violate")
+	}
+	if v.Tardiness() != 2 {
+		t.Fatalf("Tardiness = %v", v.Tardiness())
+	}
+	zero := ServiceObs{P99Ms: 1}
+	if zero.Tardiness() != 0 {
+		t.Fatal("zero target must not divide by zero")
+	}
+	// Boundary: exactly at target counts as met.
+	b := ServiceObs{P99Ms: 5, QoSTargetMs: 5}
+	if !b.QoSMet() {
+		t.Fatal("equality must meet QoS")
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/twig-sched/twig/internal/bdq"
+	"github.com/twig-sched/twig/internal/core"
+	"github.com/twig-sched/twig/internal/sim/loadgen"
+	"github.com/twig-sched/twig/internal/sim/service"
+)
+
+// AblationCell is one variant's outcome on the standard Twig-S workload
+// (Masstree at 50% load).
+type AblationCell struct {
+	Variant      string
+	QoSGuarantee float64
+	AvgPowerW    float64
+	Migrations   int
+}
+
+// AblationResult compares design-choice variants called out in
+// DESIGN.md §5: prioritised vs uniform replay, the η smoothing window,
+// the θ power-reward weight, and the per-branch vs mean TD target.
+type AblationResult struct {
+	Name  string
+	Cells []AblationCell
+}
+
+// runAblationVariant runs Twig-S with a config mutator applied.
+func runAblationVariant(sc Scale, seed int64, variant string, mutate func(*core.Config)) AblationCell {
+	const svcName = "masstree"
+	prof := service.MustLookup(svcName)
+	srv := NewServer(seed, svcName)
+	cfg := twigConfig(srv, sc, seed, svcName)
+	mutate(&cfg)
+	mgr := core.NewManager(cfg, srv.ManagedCores())
+	sum := Run(RunConfig{
+		Server:       srv,
+		Controller:   mgr,
+		Patterns:     []loadgen.Pattern{loadgen.Fixed(0.5 * prof.MaxLoadRPS)},
+		Seconds:      sc.LearnS + sc.SummaryS,
+		SummaryFromS: sc.LearnS,
+	})
+	return AblationCell{
+		Variant:      variant,
+		QoSGuarantee: sum.QoSGuarantee[0],
+		AvgPowerW:    sum.AvgPowerW,
+		Migrations:   sum.Migrations,
+	}
+}
+
+// AblationReplay compares prioritised vs uniform experience replay.
+func AblationReplay(sc Scale, seed int64) AblationResult {
+	return AblationResult{
+		Name: "prioritised vs uniform replay",
+		Cells: []AblationCell{
+			runAblationVariant(sc, seed, "PER", func(c *core.Config) {}),
+			runAblationVariant(sc, seed, "uniform", func(c *core.Config) { c.Agent.UsePER = false }),
+		},
+	}
+}
+
+// AblationEta compares the PMC smoothing window η ∈ {1, 5, 10}. The
+// paper found η = 5 best.
+func AblationEta(sc Scale, seed int64) AblationResult {
+	res := AblationResult{Name: "PMC smoothing window η"}
+	for _, eta := range []int{1, 5, 10} {
+		e := eta
+		res.Cells = append(res.Cells, runAblationVariant(sc, seed,
+			fmt.Sprintf("eta=%d", e), func(c *core.Config) { c.Eta = e }))
+	}
+	return res
+}
+
+// AblationReward compares the power-reward weight θ ∈ {0, 0.5, 2}. With
+// θ = 0 Twig has no incentive to save energy; with a large θ it risks
+// QoS.
+func AblationReward(sc Scale, seed int64) AblationResult {
+	res := AblationResult{Name: "power-reward weight θ"}
+	for _, theta := range []float64{0, 0.5, 2} {
+		th := theta
+		res.Cells = append(res.Cells, runAblationVariant(sc, seed,
+			fmt.Sprintf("theta=%.1f", th), func(c *core.Config) { c.Reward.Theta = th }))
+	}
+	return res
+}
+
+// AblationMultiAgentValue ablates the paper's multi-agent contribution:
+// Twig-C on a colocated pair with per-agent state-value streams
+// (Sec. III-A) versus a single value stream shared by both agents.
+func AblationMultiAgentValue(sc Scale, seed int64) AblationResult {
+	frac := PairMaxFraction("masstree", "moses")
+	loads := []loadgen.Pattern{
+		loadgen.Fixed(0.5 * frac * service.MustLookup("masstree").MaxLoadRPS),
+		loadgen.Fixed(0.5 * frac * service.MustLookup("moses").MaxLoadRPS),
+	}
+	run := func(shared bool, label string) AblationCell {
+		srv := NewServer(seed, "masstree", "moses")
+		cfg := twigConfig(srv, sc, seed, "masstree", "moses")
+		cfg.Agent.Spec.SharedValue = shared
+		mgr := core.NewManager(cfg, srv.ManagedCores())
+		sum := Run(RunConfig{
+			Server:       srv,
+			Controller:   mgr,
+			Patterns:     loads,
+			Seconds:      sc.LearnS + sc.SummaryS,
+			SummaryFromS: sc.LearnS,
+		})
+		return AblationCell{
+			Variant:      label,
+			QoSGuarantee: (sum.QoSGuarantee[0] + sum.QoSGuarantee[1]) / 2,
+			AvgPowerW:    sum.AvgPowerW,
+			Migrations:   sum.Migrations,
+		}
+	}
+	return AblationResult{
+		Name: "per-agent vs shared state value (Twig-C)",
+		Cells: []AblationCell{
+			run(false, "per-agent V"),
+			run(true, "shared V"),
+		},
+	}
+}
+
+// AblationTargetMode compares the mean-across-branches TD target (the
+// BDQ paper's recommendation, Twig's default) with per-branch targets.
+func AblationTargetMode(sc Scale, seed int64) AblationResult {
+	return AblationResult{
+		Name: "TD target aggregation",
+		Cells: []AblationCell{
+			runAblationVariant(sc, seed, "mean-branches", func(c *core.Config) {
+				c.Agent.TargetMode = bdq.TargetMeanBranches
+			}),
+			runAblationVariant(sc, seed, "per-branch", func(c *core.Config) {
+				c.Agent.TargetMode = bdq.TargetPerBranch
+			}),
+		},
+	}
+}
+
+// String renders the variant table.
+func (r AblationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: %s (masstree @ 50%%)\n", r.Name)
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "  %-14s QoS %6.1f%%  power %6.1f W  %d migrations\n",
+			c.Variant, c.QoSGuarantee*100, c.AvgPowerW, c.Migrations)
+	}
+	return b.String()
+}

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/baselines"
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/loadgen"
+)
+
+// tinyScale keeps unit tests fast: the learning behaviour is not under
+// test here, only the experiment plumbing.
+func tinyScale() Scale {
+	sc := QuickScale()
+	sc.Name = "tiny"
+	sc.SharedHidden = []int{16, 12}
+	sc.BranchHidden = 8
+	sc.TrainPerStep = 1
+	sc.Epsilon.MidStep = 60
+	sc.Epsilon.EndStep = 120
+	sc.PERAnneal = 200
+	sc.LearnS = 150
+	sc.SummaryS = 50
+	return sc
+}
+
+func TestRunSummaryShape(t *testing.T) {
+	srv := NewServer(1, "masstree")
+	static := baselines.NewStatic(srv.ManagedCores(), 1)
+	sum := Run(RunConfig{
+		Server:       srv,
+		Controller:   static,
+		Patterns:     []loadgen.Pattern{loadgen.Fixed(500)},
+		Seconds:      40,
+		SummaryFromS: 20,
+	})
+	if sum.Controller != "static" || sum.Seconds != 40 {
+		t.Fatalf("summary header %+v", sum)
+	}
+	if len(sum.QoSGuarantee) != 1 || sum.QoSGuarantee[0] < 0 || sum.QoSGuarantee[0] > 1 {
+		t.Fatalf("QoS guarantee %v", sum.QoSGuarantee)
+	}
+	if sum.EnergyJ <= 0 || sum.AvgPowerW <= 0 {
+		t.Fatal("energy accounting")
+	}
+	if len(sum.Tardiness[0]) != 20 {
+		t.Fatalf("tardiness samples = %d", len(sum.Tardiness[0]))
+	}
+	if sum.AvgCores[0] != 18 || math.Abs(sum.AvgFreqGHz[0]-2.0) > 1e-9 {
+		t.Fatalf("static allocation %v %v", sum.AvgCores, sum.AvgFreqGHz)
+	}
+	if sum.Migrations != 0 {
+		t.Fatal("static must not migrate")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	srv := NewServer(1, "masstree")
+	static := baselines.NewStatic(srv.ManagedCores(), 1)
+	for _, bad := range []RunConfig{
+		{Server: srv, Controller: static, Patterns: nil, Seconds: 10, SummaryFromS: 5},
+		{Server: srv, Controller: static, Patterns: []loadgen.Pattern{loadgen.Fixed(1)}, Seconds: 10, SummaryFromS: 10},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			Run(bad)
+		}()
+	}
+}
+
+func TestRunHookSeesEveryInterval(t *testing.T) {
+	srv := NewServer(2, "xapian")
+	static := baselines.NewStatic(srv.ManagedCores(), 1)
+	n := 0
+	Run(RunConfig{
+		Server:       srv,
+		Controller:   static,
+		Patterns:     []loadgen.Pattern{loadgen.Fixed(300)},
+		Seconds:      25,
+		SummaryFromS: 5,
+		Hook:         func(int, sim.StepResult, sim.Assignment) { n++ },
+	})
+	if n != 25 {
+		t.Fatalf("hook saw %d intervals", n)
+	}
+}
+
+func TestQoSTargetCachedAndPositive(t *testing.T) {
+	a := QoSTarget("masstree")
+	b := QoSTarget("masstree")
+	if a != b || a <= 0 {
+		t.Fatalf("QoSTarget = %v / %v", a, b)
+	}
+}
+
+func TestPowerModelForProducesUsefulGradients(t *testing.T) {
+	m := PowerModelFor("masstree")
+	// More cores at equal load and frequency must not look cheaper.
+	lo := m.Estimate(0.5, 8, 1.6)
+	hi := m.Estimate(0.5, 16, 1.6)
+	if hi <= lo {
+		t.Fatalf("cores gradient inverted: %v vs %v", lo, hi)
+	}
+	// Higher DVFS at equal load must not look cheaper.
+	slow := m.Estimate(0.5, 12, 1.2)
+	fast := m.Estimate(0.5, 12, 2.0)
+	if fast <= slow {
+		t.Fatalf("frequency gradient inverted: %v vs %v", slow, fast)
+	}
+	if m.R2 < 0.9 {
+		t.Fatalf("power model fit R² = %v, want ≥ 0.9 (paper: 0.92)", m.R2)
+	}
+}
+
+func TestPairMaxFraction(t *testing.T) {
+	f := PairMaxFraction("masstree", "xapian")
+	if f < 0.1 || f > 1.0 {
+		t.Fatalf("pair max fraction = %v", f)
+	}
+	if f2 := PairMaxFraction("masstree", "xapian"); f2 != f {
+		t.Fatal("must be cached/deterministic")
+	}
+	if len(ServicePairs()) != 6 {
+		t.Fatalf("pairs = %v", ServicePairs())
+	}
+}
+
+func TestFig1SmallRun(t *testing.T) {
+	r := Fig1("memcached", 600, 1)
+	if r.Samples != 600 {
+		t.Fatalf("samples = %d", r.Samples)
+	}
+	// The headline property: multi-PMC errors are tighter than IPC-only.
+	if r.MultiPMC.ErrStdMs >= r.IPCOnly.ErrStdMs {
+		t.Fatalf("multi-PMC std %v should beat IPC-only %v",
+			r.MultiPMC.ErrStdMs, r.IPCOnly.ErrStdMs)
+	}
+	if r.ZeroErrorGain <= 1 {
+		t.Fatalf("zero-error gain = %v, want > 1 (paper: ≥1.91)", r.ZeroErrorGain)
+	}
+	if r.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestTable1SmallRun(t *testing.T) {
+	r := Table1([]string{"masstree"}, 10, 1)
+	if r.Samples == 0 {
+		t.Fatal("no samples gathered")
+	}
+	if r.Components < 1 {
+		t.Fatalf("components = %d", r.Components)
+	}
+	seen := map[int]bool{}
+	for _, rank := range r.Rank {
+		if rank < 1 || rank > 11 || seen[rank] {
+			t.Fatalf("ranks = %v", r.Rank)
+		}
+		seen[rank] = true
+	}
+	// At least one counter must correlate strongly with tail latency —
+	// the premise of the whole paper.
+	strong := false
+	for _, c := range r.Corr {
+		if math.Abs(c) > 0.5 {
+			strong = true
+		}
+	}
+	if !strong {
+		t.Fatalf("no counter correlates with latency: %v", r.Corr)
+	}
+	if r.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestFig4SmallRun(t *testing.T) {
+	r := Fig4("masstree", 6, 1)
+	if r.Model == nil || r.PAAE <= 0 {
+		t.Fatalf("fig4 = %+v", r)
+	}
+	if r.PAAE > 25 {
+		t.Fatalf("PAAE = %v%%, model should be a usable first-order fit", r.PAAE)
+	}
+	if r.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestTable2SmallRun(t *testing.T) {
+	r := Table2(20, 1)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.MaxLoadRPS <= 0 || row.QoSTargetMs <= 0 {
+			t.Fatalf("row %+v", row)
+		}
+		// The knee must land within ±40% of the calibrated maximum.
+		ratio := row.MaxLoadRPS / row.PaperMaxRPS
+		if ratio < 0.6 || ratio > 1.45 {
+			t.Fatalf("%s knee at %.2fx of nominal max", row.Service, ratio)
+		}
+	}
+	if r.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestTable3Runs(t *testing.T) {
+	r := Table3(2)
+	if r.GradientDescent <= 0 || r.Total <= 0 {
+		t.Fatalf("table3 = %+v", r)
+	}
+	if r.PMCDataBytes != 352 {
+		t.Fatalf("PMC bytes = %d", r.PMCDataBytes)
+	}
+	if r.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestFigMem(t *testing.T) {
+	r := FigMem(3, 30, 25)
+	if r.TwigBytes >= 5<<20 {
+		t.Fatalf("Twig memory %d ≥ 5 MB", r.TwigBytes)
+	}
+	if r.HipsterEntries <= 1e14 {
+		t.Fatalf("Hipster entries = %v, want the paper's 25·3³⁰ scale", r.HipsterEntries)
+	}
+	if r.FlatDQNParams <= r.TwigParams {
+		t.Fatal("flat DQN must dwarf the BDQ")
+	}
+	if r.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+// TestFig5TinyPlumbing exercises the full Fig.5 machinery at tiny scale:
+// correctness of the comparison scaffolding, not learning quality.
+func TestFig5TinyPlumbing(t *testing.T) {
+	sc := tinyScale()
+	r := Fig5([]string{"masstree"}, sc, 1)
+	if len(r.Cells) != 3*len(Fig5Managers) {
+		t.Fatalf("cells = %d", len(r.Cells))
+	}
+	for _, c := range r.Cells {
+		if c.Manager == "static" && math.Abs(c.EnergyNorm-1) > 1e-9 {
+			t.Fatalf("static must normalise to 1, got %v", c.EnergyNorm)
+		}
+		if c.EnergyNorm <= 0 {
+			t.Fatalf("cell %+v", c)
+		}
+	}
+	if r.AvgEnergyNorm("static") != 1 {
+		t.Fatal("avg energy for static")
+	}
+	if r.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestFig13TinyPlumbing(t *testing.T) {
+	sc := tinyScale()
+	r := Fig13([][2]string{{"masstree", "img-dnn"}}, sc, 1)
+	if len(r.Cells) != 3*len(Fig13Managers) {
+		t.Fatalf("cells = %d", len(r.Cells))
+	}
+	if r.AvgQoS("static") <= 0 {
+		t.Fatal("static QoS")
+	}
+	if r.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestFig7TinyPlumbing(t *testing.T) {
+	sc := tinyScale()
+	r := Fig7(sc, 1)
+	if len(r.Curves["twig-s"]) == 0 || len(r.Curves["hipster"]) == 0 {
+		t.Fatalf("curves missing: %+v", r.Curves)
+	}
+	for _, v := range r.Curves["twig-s"] {
+		if v < 0 || v > 1 {
+			t.Fatalf("curve value %v", v)
+		}
+	}
+	if r.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestScalesDiffer(t *testing.T) {
+	p, q := PaperScale(), QuickScale()
+	if p.SharedHidden[0] != 512 || p.Epsilon.MidStep != 10000 || p.LearnS != 10000 {
+		t.Fatalf("paper scale %+v", p)
+	}
+	if q.LearnS >= p.LearnS || q.SharedHidden[0] >= p.SharedHidden[0] {
+		t.Fatal("quick scale must be smaller")
+	}
+}
+
+// TestRunDeterminism: the whole stack — simulator, PER, BDQ, controller —
+// must be reproducible for a fixed seed, as DESIGN.md promises.
+func TestRunDeterminism(t *testing.T) {
+	sc := tinyScale()
+	run := func() Summary {
+		srv := NewServer(7, "masstree")
+		tw := NewTwig(srv, sc, 7, "masstree")
+		return Run(RunConfig{
+			Server:       srv,
+			Controller:   tw,
+			Patterns:     []loadgen.Pattern{loadgen.Fixed(900)},
+			Seconds:      sc.LearnS + sc.SummaryS,
+			SummaryFromS: sc.LearnS,
+		})
+	}
+	a, b := run(), run()
+	if a.EnergyJ != b.EnergyJ || a.QoSGuarantee[0] != b.QoSGuarantee[0] || a.Migrations != b.Migrations {
+		t.Fatalf("runs differ: %v/%v vs %v/%v", a.EnergyJ, a.QoSGuarantee[0], b.EnergyJ, b.QoSGuarantee[0])
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/twig-sched/twig/internal/baselines"
+	"github.com/twig-sched/twig/internal/ctrl"
+	"github.com/twig-sched/twig/internal/sim/loadgen"
+	"github.com/twig-sched/twig/internal/sim/service"
+)
+
+// Fig13Cell is one (pair, load, manager) measurement.
+type Fig13Cell struct {
+	PairA, PairB string
+	LoadFrac     float64
+	Manager      string
+	QoSGuarantee [2]float64
+	EnergyNorm   float64 // normalised to static at the same pair/load
+	Migrations   int
+}
+
+// Fig13Result reproduces Fig. 13: Twig-C vs PARTIES vs static across
+// service pairs at low (20%), mid (50%) and high (80%) fractions of the
+// pair's colocated operable maximum.
+type Fig13Result struct {
+	Scale string
+	Cells []Fig13Cell
+}
+
+// Fig13Managers lists the colocated managers compared.
+var Fig13Managers = []string{"static", "parties", "twig-c"}
+
+// Fig13 runs the comparison over the given pairs (all six Tailbench
+// pairs in the paper; tests and benches may pass a subset).
+func Fig13(pairs [][2]string, sc Scale, seed int64) Fig13Result {
+	res := Fig13Result{Scale: sc.Name}
+	total := sc.LearnS + 2*sc.SummaryS // PARTIES summarised over 600 s
+	for _, pair := range pairs {
+		frac := PairMaxFraction(pair[0], pair[1])
+		a := service.MustLookup(pair[0])
+		b := service.MustLookup(pair[1])
+		for _, lf := range []float64{0.2, 0.5, 0.8} {
+			var staticEnergy float64
+			for _, mgr := range Fig13Managers {
+				srv := NewServer(seed, pair[0], pair[1])
+				var c ctrl.Controller
+				switch mgr {
+				case "static":
+					c = baselines.NewStatic(srv.ManagedCores(), 2)
+				case "parties":
+					c = baselines.NewParties(baselines.DefaultPartiesConfig(), srv.ManagedCores(), 2)
+				case "twig-c":
+					c = NewTwig(srv, sc, seed, pair[0], pair[1])
+				}
+				sum := Run(RunConfig{
+					Server:     srv,
+					Controller: c,
+					Patterns: []loadgen.Pattern{
+						loadgen.Fixed(lf * frac * a.MaxLoadRPS),
+						loadgen.Fixed(lf * frac * b.MaxLoadRPS),
+					},
+					Seconds:      total,
+					SummaryFromS: sc.LearnS,
+				})
+				if mgr == "static" {
+					staticEnergy = sum.EnergyJ
+				}
+				res.Cells = append(res.Cells, Fig13Cell{
+					PairA: pair[0], PairB: pair[1],
+					LoadFrac:     lf,
+					Manager:      mgr,
+					QoSGuarantee: [2]float64{sum.QoSGuarantee[0], sum.QoSGuarantee[1]},
+					EnergyNorm:   sum.EnergyJ / staticEnergy,
+					Migrations:   sum.Migrations,
+				})
+			}
+		}
+	}
+	return res
+}
+
+// AvgEnergyNorm averages one manager's normalised energy over all cells.
+func (r Fig13Result) AvgEnergyNorm(manager string) float64 {
+	var s float64
+	n := 0
+	for _, c := range r.Cells {
+		if c.Manager == manager {
+			s += c.EnergyNorm
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// AvgQoS averages one manager's QoS guarantee over all cells/services.
+func (r Fig13Result) AvgQoS(manager string) float64 {
+	var s float64
+	n := 0
+	for _, c := range r.Cells {
+		if c.Manager == manager {
+			s += c.QoSGuarantee[0] + c.QoSGuarantee[1]
+			n += 2
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// String renders the table.
+func (r Fig13Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig.13 (Twig-C vs PARTIES vs static, %s scale)\n", r.Scale)
+	fmt.Fprintf(&b, "  %-20s %5s %-8s %7s %7s %9s %6s\n", "pair", "load", "manager", "QoS-a", "QoS-b", "energy/n", "migr")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "  %-20s %4.0f%% %-8s %6.1f%% %6.1f%% %9.3f %6d\n",
+			c.PairA+"+"+c.PairB, c.LoadFrac*100, c.Manager,
+			c.QoSGuarantee[0]*100, c.QoSGuarantee[1]*100, c.EnergyNorm, c.Migrations)
+	}
+	for _, m := range Fig13Managers {
+		fmt.Fprintf(&b, "  avg %-8s QoS %.1f%% energy %.3f\n", m, r.AvgQoS(m)*100, r.AvgEnergyNorm(m))
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/loadgen"
+	"github.com/twig-sched/twig/internal/sim/service"
+)
+
+// Fig7Result reproduces Fig. 7: the QoS guarantee over time (learning
+// curve) of Twig-S and Hipster on Masstree, bucketed into windows (the
+// paper uses 500 s buckets over 10 000 s with ε annealed to 0.1 by
+// 5000 s).
+type Fig7Result struct {
+	Service string
+	BucketS int
+	// Curves maps manager name to its per-bucket QoS guarantee.
+	Curves map[string][]float64
+	// CrossedAt80 maps manager to the first bucket index whose QoS
+	// guarantee exceeds 80% (Twig should get there first).
+	CrossedAt80 map[string]int
+}
+
+// Fig7 runs the learning-time comparison.
+func Fig7(sc Scale, seed int64) Fig7Result {
+	const svcName = "masstree"
+	const lf = 0.5
+	prof := service.MustLookup(svcName)
+	total := sc.LearnS + sc.SummaryS
+	bucket := total / 12
+	if bucket < 1 {
+		bucket = 1
+	}
+	res := Fig7Result{
+		Service:     svcName,
+		BucketS:     bucket,
+		Curves:      map[string][]float64{},
+		CrossedAt80: map[string]int{},
+	}
+	for _, mgr := range []string{"hipster", "twig-s"} {
+		srv := NewServer(seed, svcName)
+		c := newSingleManager(mgr, srv, sc, seed, svcName)
+		met := make([]int, 0, total/bucket+1)
+		count := make([]int, 0, total/bucket+1)
+		Run(RunConfig{
+			Server:       srv,
+			Controller:   c,
+			Patterns:     []loadgen.Pattern{loadgen.Fixed(lf * prof.MaxLoadRPS)},
+			Seconds:      total,
+			SummaryFromS: sc.LearnS,
+			Hook: func(t int, r sim.StepResult, asg sim.Assignment) {
+				bi := t / bucket
+				for len(met) <= bi {
+					met = append(met, 0)
+					count = append(count, 0)
+				}
+				count[bi]++
+				sv := r.Services[0]
+				if sv.P99Ms <= sv.QoSTargetMs {
+					met[bi]++
+				}
+			},
+		})
+		curve := make([]float64, len(met))
+		crossed := -1
+		for i := range met {
+			curve[i] = float64(met[i]) / float64(count[i])
+			if crossed < 0 && curve[i] >= 0.8 {
+				crossed = i
+			}
+		}
+		res.Curves[mgr] = curve
+		res.CrossedAt80[mgr] = crossed
+	}
+	return res
+}
+
+// String renders the two learning curves.
+func (r Fig7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig.7 learning curves on %s (buckets of %d s)\n", r.Service, r.BucketS)
+	for _, mgr := range []string{"hipster", "twig-s"} {
+		fmt.Fprintf(&b, "  %-8s:", mgr)
+		for _, v := range r.Curves[mgr] {
+			fmt.Fprintf(&b, " %3.0f%%", v*100)
+		}
+		fmt.Fprintf(&b, "   (≥80%% at bucket %d)\n", r.CrossedAt80[mgr])
+	}
+	return b.String()
+}

@@ -1,0 +1,171 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation, plus the shared machinery to drive any controller
+// against the simulated server and summarise QoS guarantee, QoS
+// tardiness and energy usage — the metrics of Sec. V.
+package experiments
+
+import (
+	"github.com/twig-sched/twig/internal/ctrl"
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/loadgen"
+)
+
+// RunConfig drives one controller against one simulated server.
+type RunConfig struct {
+	Server     *sim.Server
+	Controller ctrl.Controller
+	// Patterns supplies the offered load per service.
+	Patterns []loadgen.Pattern
+	// Seconds is the total run length; SummaryFromS is the first second
+	// included in the summary (the paper summarises after the learning
+	// phase).
+	Seconds      int
+	SummaryFromS int
+	// Hook, when set, observes every interval (for trace figures).
+	Hook func(t int, res sim.StepResult, asg sim.Assignment)
+}
+
+// Summary aggregates a run, in the paper's metrics.
+type Summary struct {
+	Controller string
+	Seconds    int
+	// QoSGuarantee is, per service, the fraction of summarised samples
+	// that met the QoS target.
+	QoSGuarantee []float64
+	// MeanTardiness and MaxTardiness describe QoS/target per service.
+	MeanTardiness []float64
+	MaxTardiness  []float64
+	// Tardiness retains the raw per-interval tardiness samples (for
+	// histograms such as Fig. 6's).
+	Tardiness [][]float64
+	// EnergyJ is the managed-socket energy over the summary window;
+	// AvgPowerW the corresponding mean power.
+	EnergyJ   float64
+	AvgPowerW float64
+	// Migrations counts per-service core-set changes over the summary
+	// window (the oscillation metric).
+	Migrations int
+	// AvgCores and AvgFreqGHz describe the mean allocation per service.
+	AvgCores   []float64
+	AvgFreqGHz []float64
+}
+
+// Run executes the control loop: every simulated second the controller
+// receives the last interval's observation and decides the next
+// interval's assignment.
+func Run(cfg RunConfig) Summary {
+	srv := cfg.Server
+	k := srv.NumServices()
+	if len(cfg.Patterns) != k {
+		panic("experiments: one load pattern per service required")
+	}
+	if cfg.SummaryFromS >= cfg.Seconds {
+		panic("experiments: empty summary window")
+	}
+
+	sum := Summary{
+		Controller:    cfg.Controller.Name(),
+		Seconds:       cfg.Seconds,
+		QoSGuarantee:  make([]float64, k),
+		MeanTardiness: make([]float64, k),
+		MaxTardiness:  make([]float64, k),
+		Tardiness:     make([][]float64, k),
+		AvgCores:      make([]float64, k),
+		AvgFreqGHz:    make([]float64, k),
+	}
+
+	obs := initialObservation(srv)
+	var prevAsg sim.Assignment
+	samples := 0
+	prevQueue := make([]int, k)
+
+	for t := 0; t < cfg.Seconds; t++ {
+		asg := cfg.Controller.Decide(obs)
+		loads := make([]float64, k)
+		for i, p := range cfg.Patterns {
+			loads[i] = p.RPS(t)
+		}
+		res := srv.Step(asg, loads)
+		if cfg.Hook != nil {
+			cfg.Hook(t, res, asg)
+		}
+
+		inWindow := t >= cfg.SummaryFromS
+		if inWindow {
+			samples++
+			sum.EnergyJ += res.EnergyJ
+			sum.AvgPowerW += res.TruePowerW
+			if prevAsg.PerService != nil {
+				for i := range asg.PerService {
+					if !sameCoreSet(prevAsg.PerService[i].Cores, asg.PerService[i].Cores) {
+						sum.Migrations++
+					}
+				}
+			}
+		}
+
+		obs = ctrl.Observation{Time: t + 1, PowerW: res.PowerW}
+		for i, sv := range res.Services {
+			so := ctrl.ServiceObs{
+				P99Ms:        sv.P99Ms,
+				QoSTargetMs:  sv.QoSTargetMs,
+				MeasuredRPS:  float64(sv.Completed),
+				MaxLoadRPS:   srv.Spec(i).Profile.MaxLoadRPS,
+				NormPMCs:     sv.NormPMCs,
+				QueueGrowing: sv.QueueLen > prevQueue[i],
+			}
+			prevQueue[i] = sv.QueueLen
+			obs.Services = append(obs.Services, so)
+
+			if inWindow {
+				tard := so.Tardiness()
+				sum.Tardiness[i] = append(sum.Tardiness[i], tard)
+				sum.MeanTardiness[i] += tard
+				if tard > sum.MaxTardiness[i] {
+					sum.MaxTardiness[i] = tard
+				}
+				if so.QoSMet() {
+					sum.QoSGuarantee[i]++
+				}
+				sum.AvgCores[i] += float64(sv.NumCores)
+				sum.AvgFreqGHz[i] += sv.FreqGHz
+			}
+		}
+		prevAsg = asg
+	}
+
+	n := float64(samples)
+	sum.AvgPowerW /= n
+	for i := 0; i < k; i++ {
+		sum.QoSGuarantee[i] /= n
+		sum.MeanTardiness[i] /= n
+		sum.AvgCores[i] /= n
+		sum.AvgFreqGHz[i] /= n
+	}
+	return sum
+}
+
+// initialObservation bootstraps the loop before any measurement exists.
+func initialObservation(srv *sim.Server) ctrl.Observation {
+	obs := ctrl.Observation{}
+	for i := 0; i < srv.NumServices(); i++ {
+		spec := srv.Spec(i)
+		obs.Services = append(obs.Services, ctrl.ServiceObs{
+			QoSTargetMs: spec.QoSTargetMs,
+			MaxLoadRPS:  spec.Profile.MaxLoadRPS,
+		})
+	}
+	return obs
+}
+
+func sameCoreSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/platform"
+	"github.com/twig-sched/twig/internal/sim/pmc"
+	"github.com/twig-sched/twig/internal/sim/service"
+	"github.com/twig-sched/twig/internal/stats"
+)
+
+// Table1Result reproduces the Table I PMC-selection pipeline of
+// Sec. III-B1: gather every counter at a fixed 1 s sampling interval
+// across the DVFS × core grid, build a Pearson correlation matrix
+// against tail latency, run PCA, keep components covering ≥95% of the
+// variance, and rank counters by their weighted loadings.
+type Table1Result struct {
+	Services []string
+	Samples  int
+	// Corr[i] is counter i's Pearson correlation with tail latency.
+	Corr [pmc.NumCounters]float64
+	// Components is the number of principal components needed for the
+	// 95% covariance target.
+	Components int
+	// Importance and Rank follow Table I's fourth column: Rank[i] is
+	// counter i's importance rank (1 = most important).
+	Importance [pmc.NumCounters]float64
+	Rank       [pmc.NumCounters]int
+}
+
+// Table1 runs the selection over the given services (the paper profiles
+// each service for 1000 s per DVFS/core combination; secondsPerPoint
+// scales that down).
+func Table1(services []string, secondsPerPoint int, seed int64) Table1Result {
+	cols := make([][]float64, pmc.NumCounters)
+	var lats []float64
+	for si, name := range services {
+		prof := service.MustLookup(name)
+		cfg := sim.DefaultConfig()
+		cfg.MeasurementSeed = seed + int64(si)
+		for cores := 4; cores <= cfg.Platform.CoresPerSocket; cores += 4 {
+			for step := 0; step < platform.NumFreqSteps; step += 2 {
+				srv := sim.NewServer(cfg, []sim.ServiceSpec{{Profile: prof, Seed: seed + int64(si*100+cores+step)}})
+				asg := sim.Assignment{
+					PerService:  []sim.Allocation{{Cores: srv.ManagedCores()[:cores], FreqGHz: platform.FreqForStep(step)}},
+					IdleFreqGHz: platform.MinFreqGHz,
+				}
+				load := 0.35 * prof.MaxLoadRPS
+				for t := 0; t < secondsPerPoint; t++ {
+					r := srv.Step(asg, []float64{load})
+					sv := r.Services[0]
+					if t < secondsPerPoint/4 || sv.Completed == 0 {
+						continue
+					}
+					for c := 0; c < int(pmc.NumCounters); c++ {
+						cols[c] = append(cols[c], sv.NormPMCs[c])
+					}
+					lats = append(lats, sv.P99Ms)
+				}
+			}
+		}
+	}
+
+	res := Table1Result{Services: services, Samples: len(lats)}
+	for c := 0; c < int(pmc.NumCounters); c++ {
+		res.Corr[c] = stats.Pearson(cols[c], lats)
+	}
+	p := stats.PCAFromColumns(cols)
+	res.Components = p.ComponentsForCoverage(0.95)
+	imp := p.FeatureImportance(res.Components)
+	copy(res.Importance[:], imp)
+
+	idx := make([]int, len(imp))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return imp[idx[a]] > imp[idx[b]] })
+	for rank, i := range idx {
+		res.Rank[i] = rank + 1
+	}
+	return res
+}
+
+// String renders a Table I analogue.
+func (r Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: PMC selection over %v (%d samples, %d PCs for 95%% covariance)\n",
+		r.Services, r.Samples, r.Components)
+	fmt.Fprintf(&b, "  %-30s %10s %10s %5s\n", "Counter", "corr(lat)", "importance", "rank")
+	for c := 0; c < int(pmc.NumCounters); c++ {
+		fmt.Fprintf(&b, "  %-30s %10.3f %10.3f %5d\n", pmc.Names[c], r.Corr[c], r.Importance[c], r.Rank[c])
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/platform"
+	"github.com/twig-sched/twig/internal/sim/service"
+	"github.com/twig-sched/twig/internal/stats"
+)
+
+// Table2Row is one service's capacity characterisation.
+type Table2Row struct {
+	Service string
+	// MaxLoadRPS is the measured saturation load: the paper's "increase
+	// the incoming load step by step until the latency increases
+	// exponentially", with the server pinned to all cores at the
+	// highest DVFS setting.
+	MaxLoadRPS float64
+	// QoSTargetMs is the p99 target fixed at that operating point.
+	QoSTargetMs float64
+	// PaperMaxRPS and PaperQoSMs are Table II's values for reference.
+	PaperMaxRPS float64
+	PaperQoSMs  float64
+}
+
+// Table2Result reproduces Table II for the four Tailbench services.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+var paperTable2 = map[string][2]float64{
+	"masstree": {2400, 1.39},
+	"xapian":   {1000, 3.71},
+	"moses":    {2800, 6.04},
+	"img-dnn":  {1100, 5.07},
+}
+
+// Table2 measures each service's capacity knee by ramping load in 5%
+// steps of the profiled maximum and detecting where p99 latency grows
+// super-linearly (>2.5× the p99 at half load, the "exponential
+// increase").
+func Table2(secondsPerStep int, seed int64) Table2Result {
+	var res Table2Result
+	cfg := sim.DefaultConfig()
+	for _, name := range service.TailbenchNames() {
+		prof := service.MustLookup(name)
+		row := Table2Row{
+			Service:     name,
+			PaperMaxRPS: paperTable2[name][0],
+			PaperQoSMs:  paperTable2[name][1],
+		}
+
+		var baseP99 float64
+		maxFrac := 0.0
+		for frac := 0.3; frac <= 1.45; frac += 0.05 {
+			srv := sim.NewServer(cfg, []sim.ServiceSpec{{Profile: prof, Seed: seed}})
+			asg := sim.Assignment{
+				PerService: []sim.Allocation{{Cores: srv.ManagedCores(), FreqGHz: platform.MaxFreqGHz}},
+			}
+			var lat []float64
+			for t := 0; t < secondsPerStep; t++ {
+				r := srv.Step(asg, []float64{frac * prof.MaxLoadRPS})
+				if t >= secondsPerStep/3 {
+					lat = append(lat, r.Services[0].P99Ms)
+				}
+			}
+			p99 := stats.Percentile(lat, 50)
+			if frac <= 0.5 {
+				baseP99 = p99
+				maxFrac = frac
+				continue
+			}
+			if p99 > 2.5*baseP99*frac/0.5 {
+				break
+			}
+			maxFrac = frac
+		}
+		row.MaxLoadRPS = maxFrac * prof.MaxLoadRPS
+		row.QoSTargetMs = sim.CalibrateQoSTarget(prof, cfg, 3*secondsPerStep, seed)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// String renders a Table II analogue with the paper's values alongside.
+func (r Table2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table II: service capacities (measured on the simulated platform vs paper)\n")
+	fmt.Fprintf(&b, "  %-10s %14s %14s %14s %14s\n", "Service", "max RPS", "QoS (ms)", "paper RPS", "paper QoS")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10s %14.0f %14.2f %14.0f %14.2f\n",
+			row.Service, row.MaxLoadRPS, row.QoSTargetMs, row.PaperMaxRPS, row.PaperQoSMs)
+	}
+	return b.String()
+}

@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/twig-sched/twig/internal/mat"
+)
+
+// Layer is one differentiable stage of a network. Forward consumes a
+// batch (rows = samples) and Backward consumes the gradient of the loss
+// with respect to the layer output, accumulating parameter gradients and
+// returning the gradient with respect to the layer input.
+type Layer interface {
+	Forward(x *mat.Matrix, train bool) *mat.Matrix
+	Backward(gradOut *mat.Matrix) *mat.Matrix
+	Params() []*Param
+}
+
+// Dense is a fully connected layer: y = x·W + b.
+type Dense struct {
+	In, Out int
+	W       *Param // In×Out
+	B       *Param // 1×Out
+
+	lastX *mat.Matrix // cached input for Backward
+}
+
+// NewDense creates a Dense layer with He-initialised weights (suitable for
+// the ReLU activations used throughout Twig) and zero biases.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   NewParam(name+".W", in, out),
+		B:   NewParam(name+".B", 1, out),
+	}
+	d.InitHe(rng)
+	return d
+}
+
+// InitHe re-initialises the weights with He (Kaiming) normal init and
+// zeroes the biases. Used both at construction and by transfer learning
+// when the final layer is re-randomised.
+func (d *Dense) InitHe(rng *rand.Rand) {
+	std := math.Sqrt(2.0 / float64(d.In))
+	for i := range d.W.Value.Data {
+		d.W.Value.Data[i] = rng.NormFloat64() * std
+	}
+	d.B.Value.Zero()
+}
+
+// Forward computes y = x·W + b for a batch x (rows = samples).
+func (d *Dense) Forward(x *mat.Matrix, train bool) *mat.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense %s expects %d inputs, got %d", d.W.Name, d.In, x.Cols))
+	}
+	d.lastX = x
+	y := mat.New(x.Rows, d.Out)
+	mat.Mul(y, x, d.W.Value)
+	y.AddRowBroadcast(d.B.Value.Data)
+	return y
+}
+
+// Backward accumulates dW = xᵀ·g and db = Σ_rows g, returning g·Wᵀ.
+func (d *Dense) Backward(gradOut *mat.Matrix) *mat.Matrix {
+	if d.lastX == nil {
+		panic("nn: Dense.Backward before Forward")
+	}
+	dW := mat.New(d.In, d.Out)
+	mat.MulTransA(dW, d.lastX, gradOut)
+	d.W.Grad.AddScaled(1, dW)
+	mat.Axpy(1, gradOut.ColSums(), d.B.Grad.Data)
+
+	gradIn := mat.New(gradOut.Rows, d.In)
+	mat.MulTransB(gradIn, gradOut, d.W.Value)
+	return gradIn
+}
+
+// Params returns the layer's weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ReLU is the rectified linear activation, applied element-wise.
+type ReLU struct {
+	lastX *mat.Matrix
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward computes max(0, x).
+func (r *ReLU) Forward(x *mat.Matrix, train bool) *mat.Matrix {
+	r.lastX = x
+	y := mat.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		}
+	}
+	return y
+}
+
+// Backward zeroes the gradient where the input was non-positive.
+func (r *ReLU) Backward(gradOut *mat.Matrix) *mat.Matrix {
+	if r.lastX == nil {
+		panic("nn: ReLU.Backward before Forward")
+	}
+	g := mat.New(gradOut.Rows, gradOut.Cols)
+	for i, v := range r.lastX.Data {
+		if v > 0 {
+			g.Data[i] = gradOut.Data[i]
+		}
+	}
+	return g
+}
+
+// Params returns nil: ReLU has no learnable parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Dropout implements inverted dropout: during training each activation is
+// zeroed with probability Rate and the survivors are scaled by 1/(1−Rate)
+// so that evaluation requires no rescaling. The paper uses Rate = 0.5
+// after every fully connected layer.
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+
+	mask *mat.Matrix
+}
+
+// NewDropout creates a dropout layer with the given drop probability.
+func NewDropout(rate float64, rng *rand.Rand) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v out of [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward applies the dropout mask when train is true and is the identity
+// otherwise.
+func (d *Dropout) Forward(x *mat.Matrix, train bool) *mat.Matrix {
+	if !train || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.Rate
+	d.mask = mat.New(x.Rows, x.Cols)
+	y := mat.New(x.Rows, x.Cols)
+	inv := 1 / keep
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask.Data[i] = inv
+			y.Data[i] = v * inv
+		}
+	}
+	return y
+}
+
+// Backward applies the same mask to the incoming gradient.
+func (d *Dropout) Backward(gradOut *mat.Matrix) *mat.Matrix {
+	if d.mask == nil {
+		return gradOut
+	}
+	g := mat.New(gradOut.Rows, gradOut.Cols)
+	mat.Hadamard(g, gradOut, d.mask)
+	return g
+}
+
+// Params returns nil: Dropout has no learnable parameters.
+func (d *Dropout) Params() []*Param { return nil }

@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/mat"
+)
+
+// paperNet builds the paper-size shared trunk (11→512→256) for the
+// micro-benchmarks behind Table III.
+func paperNet(rng *rand.Rand) *Sequential {
+	return NewSequential(
+		NewDense("l1", 11, 512, rng),
+		NewReLU(),
+		NewDense("l2", 512, 256, rng),
+		NewReLU(),
+		NewDense("out", 256, 27, rng),
+	)
+}
+
+func BenchmarkForwardBatch64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := paperNet(rng)
+	x := mat.New(64, 11)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}
+
+func BenchmarkForwardBackwardBatch64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := paperNet(rng)
+	x := mat.New(64, 11)
+	target := mat.New(64, 27)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	opt := NewAdam(0.0025)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrad()
+		pred := net.Forward(x, true)
+		_, grad := MSE(pred, target)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := paperNet(rng)
+	opt := NewAdam(0.0025)
+	params := net.Params()
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = rng.NormFloat64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step(params)
+	}
+}

@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/twig-sched/twig/internal/mat"
+)
+
+// ParamSnapshot is the serialisable form of one parameter tensor.
+type ParamSnapshot struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// Snapshot captures the current values of params. The result is
+// independent of the live network and safe to mutate or persist.
+func Snapshot(params []*Param) []ParamSnapshot {
+	out := make([]ParamSnapshot, len(params))
+	for i, p := range params {
+		out[i] = ParamSnapshot{
+			Name: p.Name,
+			Rows: p.Value.Rows,
+			Cols: p.Value.Cols,
+			Data: mat.Clone(p.Value.Data),
+		}
+	}
+	return out
+}
+
+// Restore loads a snapshot back into params. Shapes must match; names are
+// checked to catch architecture drift between save and load.
+func Restore(params []*Param, snap []ParamSnapshot) error {
+	if len(params) != len(snap) {
+		return fmt.Errorf("nn: snapshot has %d params, network has %d", len(snap), len(params))
+	}
+	for i, p := range params {
+		s := snap[i]
+		if p.Value.Rows != s.Rows || p.Value.Cols != s.Cols {
+			return fmt.Errorf("nn: param %q shape %dx%d != snapshot %dx%d",
+				p.Name, p.Value.Rows, p.Value.Cols, s.Rows, s.Cols)
+		}
+		if p.Name != s.Name {
+			return fmt.Errorf("nn: param %q does not match snapshot entry %q", p.Name, s.Name)
+		}
+		copy(p.Value.Data, s.Data)
+	}
+	return nil
+}
+
+// Save gob-encodes a snapshot of params to w.
+func Save(w io.Writer, params []*Param) error {
+	return gob.NewEncoder(w).Encode(Snapshot(params))
+}
+
+// Load gob-decodes a snapshot from r into params.
+func Load(r io.Reader, params []*Param) error {
+	var snap []ParamSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("nn: decoding snapshot: %w", err)
+	}
+	return Restore(params, snap)
+}

@@ -1,0 +1,48 @@
+package replay
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTransition(i int) Transition {
+	return Transition{
+		State:     []float64{float64(i), 0.5, 0.2},
+		Actions:   []int{i % 18, i % 9},
+		Rewards:   []float64{float64(i % 7)},
+		NextState: []float64{float64(i + 1), 0.5, 0.2},
+	}
+}
+
+func BenchmarkPrioritizedAdd(b *testing.B) {
+	p := NewPrioritized(1_000_000, 0.6, 0.4, 25_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Add(benchTransition(i))
+	}
+}
+
+func BenchmarkPrioritizedSample64(b *testing.B) {
+	p := NewPrioritized(1_000_000, 0.6, 0.4, 25_000)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		p.Add(benchTransition(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := p.Sample(64, rng)
+		p.UpdatePriorities(batch.Indices, batch.Weights)
+	}
+}
+
+func BenchmarkUniformSample64(b *testing.B) {
+	u := NewUniform(1_000_000)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		u.Add(benchTransition(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Sample(64, rng)
+	}
+}

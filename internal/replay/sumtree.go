@@ -1,0 +1,59 @@
+// Package replay implements experience-replay buffers for deep
+// Q-learning: a plain uniform ring buffer and the prioritised replay of
+// Schaul et al. (2015) backed by a sum-tree, as used by Twig with a
+// buffer of 10⁶ transitions, priority exponent α = 0.6 and
+// importance-sampling exponent β annealed from 0.4 to 1.
+package replay
+
+import "fmt"
+
+// sumTree is a complete binary tree whose leaves hold priorities and
+// whose internal nodes hold subtree sums, supporting O(log n) updates and
+// prefix-sum sampling.
+type sumTree struct {
+	capacity int
+	nodes    []float64 // 2*capacity-1 nodes; leaves start at capacity-1
+}
+
+func newSumTree(capacity int) *sumTree {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("replay: sum-tree capacity %d", capacity))
+	}
+	return &sumTree{capacity: capacity, nodes: make([]float64, 2*capacity-1)}
+}
+
+// total returns the sum of all leaf priorities.
+func (t *sumTree) total() float64 { return t.nodes[0] }
+
+// set assigns priority p to leaf i and updates ancestor sums.
+func (t *sumTree) set(i int, p float64) {
+	if p < 0 {
+		panic("replay: negative priority")
+	}
+	idx := i + t.capacity - 1
+	delta := p - t.nodes[idx]
+	t.nodes[idx] = p
+	for idx > 0 {
+		idx = (idx - 1) / 2
+		t.nodes[idx] += delta
+	}
+}
+
+// get returns the priority of leaf i.
+func (t *sumTree) get(i int) float64 { return t.nodes[i+t.capacity-1] }
+
+// find returns the leaf index whose cumulative priority interval contains
+// mass, where 0 ≤ mass < total().
+func (t *sumTree) find(mass float64) int {
+	idx := 0
+	for idx < t.capacity-1 {
+		left := 2*idx + 1
+		if mass < t.nodes[left] {
+			idx = left
+		} else {
+			mass -= t.nodes[left]
+			idx = left + 1
+		}
+	}
+	return idx - (t.capacity - 1)
+}

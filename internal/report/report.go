@@ -1,0 +1,160 @@
+// Package report renders experiment results for humans and machines:
+// aligned text tables, CSV export (encoding/csv) for plotting outside
+// the repository, and compact ASCII charts (sparklines, horizontal bars)
+// used by the command-line tools to visualise traces without any
+// graphics dependency.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text/CSV table.
+type Table struct {
+	Header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// AddRow appends a row; values are formatted with %v (floats with %g).
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = trimFloat(x)
+		case float32:
+			row[i] = trimFloat(float64(x))
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e9 {
+		return fmt.Sprintf("%.0f", x)
+	}
+	return fmt.Sprintf("%.4g", x)
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteString("\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := line(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as RFC 4180 CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// sparkRunes are the eight block heights of a sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a compact unicode sparkline, scaling
+// min..max across the eight block heights. Empty input yields "".
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		idx := 0
+		if hi > lo {
+			idx = int((x - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// HBar renders a horizontal bar of the given value scaled so max fills
+// width characters, annotated with the value.
+func HBar(value, max float64, width int) string {
+	if width <= 0 {
+		width = 20
+	}
+	n := 0
+	if max > 0 {
+		n = int(value / max * float64(width))
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("█", n) + strings.Repeat("·", width-n)
+}
+
+// Percent formats a fraction as a fixed-width percentage.
+func Percent(frac float64) string { return fmt.Sprintf("%5.1f%%", frac*100) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,32 @@
+// Package batch models best-effort batch work that soaks up whatever
+// cores the latency-critical services do not occupy — the colocation
+// context Heracles and PARTIES were designed for, where reclaimed
+// resources turn into batch throughput rather than idle power savings.
+package batch
+
+// Spec describes a best-effort batch workload.
+type Spec struct {
+	// Name identifies the workload ("spark-batch", "stream", ...).
+	Name string
+	// BWPerWork is the memory bandwidth demand in GB per unit of batch
+	// work (GHz·core·seconds), pressuring the shared socket resources.
+	BWPerWork float64
+	// CacheMB is the LLC footprint the batch competes for.
+	CacheMB float64
+	// Sensitivity scales how much contention slows the batch down
+	// (batch work is throughput-oriented, so it degrades gracefully).
+	Sensitivity float64
+}
+
+// DefaultSpec is a bandwidth-hungry analytics batch.
+func DefaultSpec() Spec {
+	return Spec{Name: "analytics-batch", BWPerWork: 1.2, CacheMB: 16, Sensitivity: 0.8}
+}
+
+// Stats is the batch outcome of one interval.
+type Stats struct {
+	// Cores is the number of cores the batch occupied.
+	Cores int
+	// WorkDone is the batch work completed, in GHz·core·seconds.
+	WorkDone float64
+}

@@ -1,0 +1,25 @@
+package batch
+
+import "testing"
+
+func TestDefaultSpec(t *testing.T) {
+	s := DefaultSpec()
+	if s.Name == "" {
+		t.Fatal("unnamed spec")
+	}
+	if s.BWPerWork <= 0 || s.CacheMB <= 0 || s.Sensitivity <= 0 {
+		t.Fatalf("degenerate default spec: %+v", s)
+	}
+	// Batch work degrades gracefully: sensitivity below the typical LC
+	// services so it absorbs contention rather than amplifying it.
+	if s.Sensitivity > 1 {
+		t.Fatalf("batch sensitivity %v should be ≤ 1", s.Sensitivity)
+	}
+}
+
+func TestStatsZeroValue(t *testing.T) {
+	var st Stats
+	if st.Cores != 0 || st.WorkDone != 0 {
+		t.Fatal("zero value must mean no batch progress")
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/twig-sched/twig/internal/sim/batch"
+	"github.com/twig-sched/twig/internal/sim/platform"
+	"github.com/twig-sched/twig/internal/sim/service"
+)
+
+func batchServer(withBatch bool) *Server {
+	cfg := DefaultConfig()
+	if withBatch {
+		spec := batch.DefaultSpec()
+		cfg.Batch = &spec
+	}
+	return NewServer(cfg, []ServiceSpec{{
+		Profile: service.MustLookup("img-dnn"), QoSTargetMs: 20, Seed: 1,
+	}})
+}
+
+func TestBatchSoaksUnownedCores(t *testing.T) {
+	srv := batchServer(true)
+	cores := srv.ManagedCores()
+	asg := Assignment{
+		PerService:  []Allocation{{Cores: cores[:10], FreqGHz: 2.0}},
+		IdleFreqGHz: platform.MinFreqGHz,
+	}
+	r := srv.Step(asg, []float64{300})
+	if r.Batch.Cores != 8 {
+		t.Fatalf("batch cores = %d, want the 8 unowned", r.Batch.Cores)
+	}
+	// 8 cores at the idle frequency (1.2 GHz) ≈ 9.6 GHz·s before
+	// contention.
+	if r.Batch.WorkDone <= 0 || r.Batch.WorkDone > 9.61 {
+		t.Fatalf("batch work = %v", r.Batch.WorkDone)
+	}
+	if srv.BatchWork() != r.Batch.WorkDone {
+		t.Fatal("cumulative batch work")
+	}
+}
+
+func TestBatchStarvesUnderFullAllocation(t *testing.T) {
+	srv := batchServer(true)
+	asg := Assignment{
+		PerService: []Allocation{{Cores: srv.ManagedCores(), FreqGHz: 2.0}},
+	}
+	r := srv.Step(asg, []float64{300})
+	if r.Batch.Cores != 0 || r.Batch.WorkDone != 0 {
+		t.Fatalf("batch should starve: %+v", r.Batch)
+	}
+}
+
+func TestNoBatchConfigured(t *testing.T) {
+	srv := batchServer(false)
+	asg := Assignment{
+		PerService:  []Allocation{{Cores: srv.ManagedCores()[:4], FreqGHz: 2.0}},
+		IdleFreqGHz: platform.MinFreqGHz,
+	}
+	r := srv.Step(asg, []float64{300})
+	if r.Batch.Cores != 0 || srv.BatchWork() != 0 {
+		t.Fatal("no batch should run")
+	}
+}
+
+func TestBatchAddsInterferencePressure(t *testing.T) {
+	// The same LC allocation must see more inflation when a
+	// bandwidth-hungry batch occupies the remaining cores.
+	run := func(withBatch bool) float64 {
+		cfg := DefaultConfig()
+		if withBatch {
+			spec := batch.Spec{Name: "stream", BWPerWork: 2.5, CacheMB: 20, Sensitivity: 1}
+			cfg.Batch = &spec
+		}
+		srv := NewServer(cfg, []ServiceSpec{{
+			Profile: service.MustLookup("img-dnn"), QoSTargetMs: 20, Seed: 1,
+		}})
+		cores := srv.ManagedCores()
+		asg := Assignment{
+			// Batch gets 12 hot cores so its bandwidth demand bites.
+			PerService:  []Allocation{{Cores: cores[:6], FreqGHz: 2.0}},
+			IdleFreqGHz: platform.MaxFreqGHz,
+		}
+		var infl float64
+		for i := 0; i < 10; i++ {
+			r := srv.Step(asg, []float64{0.3 * service.MustLookup("img-dnn").MaxLoadRPS})
+			infl = r.Services[0].InflationApplied
+		}
+		return infl
+	}
+	clean := run(false)
+	dirty := run(true)
+	if dirty <= clean {
+		t.Fatalf("batch must add interference: %v vs %v", dirty, clean)
+	}
+}
+
+func TestBatchPowerAccounted(t *testing.T) {
+	// Batch-busy cores must consume active power.
+	run := func(withBatch bool) float64 {
+		srv := batchServer(withBatch)
+		cores := srv.ManagedCores()
+		asg := Assignment{
+			PerService:  []Allocation{{Cores: cores[:6], FreqGHz: 2.0}},
+			IdleFreqGHz: platform.MinFreqGHz,
+		}
+		var p float64
+		for i := 0; i < 5; i++ {
+			p = srv.Step(asg, []float64{200}).TruePowerW
+		}
+		return p
+	}
+	if idle, busy := run(false), run(true); busy <= idle {
+		t.Fatalf("batch power %v must exceed idle %v", busy, idle)
+	}
+}

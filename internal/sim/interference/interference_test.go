@@ -1,0 +1,171 @@
+package interference
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoContentionBelowKnee(t *testing.T) {
+	m := New(DefaultConfig())
+	res := m.Compute([]Demand{
+		{BandwidthGBs: 10, CacheMB: 10, BWSensitivity: 2, CacheSensitivity: 2},
+		{BandwidthGBs: 10, CacheMB: 10, BWSensitivity: 1, CacheSensitivity: 1},
+	})
+	for i, r := range res {
+		if r.Inflation != 1 {
+			t.Fatalf("service %d inflated %v with no contention", i, r.Inflation)
+		}
+		if r.LLCMissFactor != 1 {
+			t.Fatalf("service %d miss factor %v", i, r.LLCMissFactor)
+		}
+	}
+}
+
+func TestBandwidthPressureGrows(t *testing.T) {
+	m := New(DefaultConfig())
+	cap := DefaultConfig().BandwidthGBs
+	prev := 0.0
+	for _, frac := range []float64{0.5, 0.8, 1.0, 1.3, 2.0} {
+		res := m.Compute([]Demand{{BandwidthGBs: frac * cap, BWSensitivity: 1}})
+		infl := res[0].Inflation
+		if infl < prev {
+			t.Fatalf("inflation not monotone at %vx: %v < %v", frac, infl, prev)
+		}
+		prev = infl
+	}
+	if prev <= 1.2 {
+		t.Fatalf("2x overload inflation = %v, expected substantial", prev)
+	}
+}
+
+// TestAsymmetricSensitivity reproduces the Masstree/Moses asymmetry: a
+// low-bandwidth, high-sensitivity service suffers more from a
+// bandwidth-hog neighbour than a high-bandwidth, low-sensitivity one.
+func TestAsymmetricSensitivity(t *testing.T) {
+	m := New(DefaultConfig())
+	res := m.Compute([]Demand{
+		{BandwidthGBs: 5, BWSensitivity: 2.2},  // masstree-like
+		{BandwidthGBs: 60, BWSensitivity: 1.0}, // moses-like
+	})
+	if res[0].Inflation <= res[1].Inflation {
+		t.Fatalf("sensitive service %v should suffer more than hog %v",
+			res[0].Inflation, res[1].Inflation)
+	}
+}
+
+func TestCachePartitioning(t *testing.T) {
+	cfg := DefaultConfig() // 45 MB LLC
+	m := New(cfg)
+	res := m.Compute([]Demand{
+		{CacheMB: 30, CacheSensitivity: 1},
+		{CacheMB: 30, CacheSensitivity: 1},
+	})
+	// Proportional shares: 22.5 MB each.
+	for i, r := range res {
+		if r.CacheShareMB <= 22 || r.CacheShareMB >= 23 {
+			t.Fatalf("service %d share = %v", i, r.CacheShareMB)
+		}
+		if r.Inflation <= 1 {
+			t.Fatalf("service %d must be inflated by cache pressure", i)
+		}
+		if r.LLCMissFactor <= 1 {
+			t.Fatalf("service %d must see more LLC misses", i)
+		}
+	}
+	// Fits: full share, no penalty.
+	fits := m.Compute([]Demand{{CacheMB: 20, CacheSensitivity: 1}, {CacheMB: 20, CacheSensitivity: 1}})
+	if fits[0].CacheShareMB != 20 || fits[0].Inflation != 1 {
+		t.Fatalf("fitting workloads must be unpenalised: %+v", fits[0])
+	}
+}
+
+// Property: inflation ≥ 1 always, and adding a neighbour never reduces
+// anyone's inflation.
+func TestInflationMonotoneInNeighbours(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}
+	m := New(DefaultConfig())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d1 := Demand{
+			BandwidthGBs:     rng.Float64() * 50,
+			CacheMB:          rng.Float64() * 30,
+			BWSensitivity:    rng.Float64() * 2,
+			CacheSensitivity: rng.Float64() * 2,
+		}
+		d2 := Demand{
+			BandwidthGBs:     rng.Float64() * 50,
+			CacheMB:          rng.Float64() * 30,
+			BWSensitivity:    rng.Float64() * 2,
+			CacheSensitivity: rng.Float64() * 2,
+		}
+		solo := m.Compute([]Demand{d1})[0]
+		pair := m.Compute([]Demand{d1, d2})[0]
+		return solo.Inflation >= 1 && pair.Inflation >= solo.Inflation-1e-12
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{BandwidthGBs: 0, LLCMB: 45})
+}
+
+func TestKneeFractionDefaulted(t *testing.T) {
+	m := New(Config{BandwidthGBs: 50, LLCMB: 45, BWKneeFraction: 0})
+	if m.Config().BWKneeFraction != 0.5 {
+		t.Fatalf("knee = %v", m.Config().BWKneeFraction)
+	}
+}
+
+// TestCATReservations: explicit way reservations isolate a service from
+// cache contention, while the unreserved competitor squeezes into the
+// remainder.
+func TestCATReservations(t *testing.T) {
+	m := New(DefaultConfig()) // 45 MB LLC
+	// Both want 30 MB; service 0 reserves 30 MB worth of ways.
+	res := m.Compute([]Demand{
+		{CacheMB: 30, ReservedMB: 30, CacheSensitivity: 1},
+		{CacheMB: 30, CacheSensitivity: 1},
+	})
+	if res[0].CacheShareMB != 30 || res[0].Inflation != 1 {
+		t.Fatalf("reserved service should be isolated: %+v", res[0])
+	}
+	// The competitor gets only the remaining 15 MB.
+	if res[1].CacheShareMB > 15.001 || res[1].Inflation <= 1 {
+		t.Fatalf("unreserved service should be squeezed: %+v", res[1])
+	}
+}
+
+// TestCATOvercommitScales: reservations beyond the cache are scaled down
+// proportionally, like overlapping CAT masks.
+func TestCATOvercommitScales(t *testing.T) {
+	m := New(DefaultConfig())
+	res := m.Compute([]Demand{
+		{CacheMB: 60, ReservedMB: 60, CacheSensitivity: 1},
+		{CacheMB: 30, ReservedMB: 30, CacheSensitivity: 1},
+	})
+	// 90 MB requested over a 45 MB cache → halves.
+	if res[0].CacheShareMB > 30.001 || res[1].CacheShareMB > 15.001 {
+		t.Fatalf("overcommit should scale: %v / %v", res[0].CacheShareMB, res[1].CacheShareMB)
+	}
+	if res[0].Inflation <= 1 {
+		t.Fatal("scaled reservation must feel pressure")
+	}
+}
+
+// TestCATReservationCapsAtFootprint: reserving more than the footprint
+// wastes ways but cannot give more than the service wants.
+func TestCATReservationCapsAtFootprint(t *testing.T) {
+	m := New(DefaultConfig())
+	res := m.Compute([]Demand{{CacheMB: 10, ReservedMB: 40, CacheSensitivity: 1}})
+	if res[0].CacheShareMB != 10 {
+		t.Fatalf("share = %v, want capped at footprint", res[0].CacheShareMB)
+	}
+}

@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace replays a recorded load series: one RPS value per second,
+// optionally time-stamped. It lets the harness drive the simulator with
+// production-style traces (e.g. exported cluster monitoring data)
+// instead of synthetic patterns.
+type Trace struct {
+	rps []float64
+	// Loop controls behaviour past the end: repeat from the start
+	// (true) or hold the final value (false).
+	Loop bool
+}
+
+// NewTrace wraps an explicit series.
+func NewTrace(rps []float64, loop bool) *Trace {
+	return &Trace{rps: append([]float64(nil), rps...), Loop: loop}
+}
+
+// ReadTrace parses a CSV load trace. Accepted shapes:
+//
+//	rps            one column, one row per second
+//	t,rps          two columns; t is informational and must ascend
+//
+// A header row is skipped if its first field is not numeric. Blank lines
+// are ignored.
+func ReadTrace(r io.Reader, loop bool) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var rps []float64
+	lastT := -1.0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: reading trace: %w", err)
+		}
+		if len(rec) == 0 {
+			continue
+		}
+		first := strings.TrimSpace(rec[0])
+		if first == "" {
+			continue
+		}
+		if _, err := strconv.ParseFloat(first, 64); err != nil {
+			if len(rps) == 0 {
+				continue // header
+			}
+			return nil, fmt.Errorf("loadgen: non-numeric trace row %v", rec)
+		}
+		var v float64
+		switch len(rec) {
+		case 1:
+			v, _ = strconv.ParseFloat(first, 64)
+		default:
+			t, _ := strconv.ParseFloat(first, 64)
+			if t <= lastT {
+				return nil, fmt.Errorf("loadgen: trace timestamps must ascend (%v after %v)", t, lastT)
+			}
+			lastT = t
+			v, err = strconv.ParseFloat(strings.TrimSpace(rec[1]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: bad rps %q", rec[1])
+			}
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("loadgen: negative rps %v", v)
+		}
+		rps = append(rps, v)
+	}
+	if len(rps) == 0 {
+		return nil, fmt.Errorf("loadgen: empty trace")
+	}
+	return NewTrace(rps, loop), nil
+}
+
+// Len returns the trace length in seconds.
+func (tr *Trace) Len() int { return len(tr.rps) }
+
+// RPS implements Pattern.
+func (tr *Trace) RPS(t int) float64 {
+	if len(tr.rps) == 0 {
+		return 0
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t >= len(tr.rps) {
+		if tr.Loop {
+			t %= len(tr.rps)
+		} else {
+			t = len(tr.rps) - 1
+		}
+	}
+	return tr.rps[t]
+}

@@ -1,0 +1,216 @@
+// Package platform models the server hardware Twig manages: a dual-socket
+// machine (the paper's 2× Intel Xeon E5-2695v4, 18 cores per socket) with
+// per-core DVFS from 1.20 GHz to 2.00 GHz in 0.1 GHz steps, CPU hotplug,
+// and core-affinity assignment of services to cores, including the
+// time-sharing that resource arbitration falls back to when requests
+// overlap.
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// DVFS constants of the evaluation platform (Sec. V).
+const (
+	MinFreqGHz  = 1.20
+	MaxFreqGHz  = 2.00
+	FreqStepGHz = 0.10
+)
+
+// NumFreqSteps is the number of selectable DVFS states (9).
+var NumFreqSteps = int(math.Round((MaxFreqGHz-MinFreqGHz)/FreqStepGHz)) + 1
+
+// NumCacheWays is the number of LLC ways Intel CAT can partition on the
+// modelled Xeon E5 v4 (20 ways over the 45 MB LLC). The paper could not
+// enable CAT on its production servers; this reproduction implements it
+// as the optional third action dimension the Sec. V-B1 memory-complexity
+// example anticipates.
+const NumCacheWays = 20
+
+// Frequencies returns the selectable frequencies in ascending order.
+func Frequencies() []float64 {
+	out := make([]float64, NumFreqSteps)
+	for i := range out {
+		out[i] = FreqForStep(i)
+	}
+	return out
+}
+
+// FreqForStep maps a DVFS action index (0-based) to GHz.
+func FreqForStep(step int) float64 {
+	if step < 0 {
+		step = 0
+	}
+	if step >= NumFreqSteps {
+		step = NumFreqSteps - 1
+	}
+	return math.Round((MinFreqGHz+float64(step)*FreqStepGHz)*100) / 100
+}
+
+// StepForFreq maps a frequency in GHz to the nearest DVFS action index.
+func StepForFreq(ghz float64) int {
+	step := int(math.Round((ghz - MinFreqGHz) / FreqStepGHz))
+	if step < 0 {
+		step = 0
+	}
+	if step >= NumFreqSteps {
+		step = NumFreqSteps - 1
+	}
+	return step
+}
+
+// Config describes the machine shape.
+type Config struct {
+	Sockets        int
+	CoresPerSocket int
+}
+
+// DefaultConfig is the paper's evaluation node: 2 sockets × 18 cores,
+// hyper-threading disabled.
+func DefaultConfig() Config { return Config{Sockets: 2, CoresPerSocket: 18} }
+
+// Core is one physical core.
+type Core struct {
+	ID     int
+	Socket int
+	// FreqGHz is the current DVFS setting.
+	FreqGHz float64
+	// Online is false when the core is hot-unplugged.
+	Online bool
+	// Owners lists the services currently affined to this core; more
+	// than one owner means the core is time-shared.
+	Owners []int
+}
+
+// Platform is the mutable hardware state.
+type Platform struct {
+	cfg   Config
+	cores []Core
+}
+
+// New creates a platform with all cores online at the minimum frequency
+// and no affinity assignments.
+func New(cfg Config) *Platform {
+	if cfg.Sockets <= 0 || cfg.CoresPerSocket <= 0 {
+		panic(fmt.Sprintf("platform: invalid config %+v", cfg))
+	}
+	p := &Platform{cfg: cfg}
+	p.cores = make([]Core, cfg.Sockets*cfg.CoresPerSocket)
+	for i := range p.cores {
+		p.cores[i] = Core{
+			ID:      i,
+			Socket:  i / cfg.CoresPerSocket,
+			FreqGHz: MinFreqGHz,
+			Online:  true,
+		}
+	}
+	return p
+}
+
+// Config returns the machine shape.
+func (p *Platform) Config() Config { return p.cfg }
+
+// NumCores returns the total number of cores.
+func (p *Platform) NumCores() int { return len(p.cores) }
+
+// Core returns a copy of the core state.
+func (p *Platform) Core(id int) Core {
+	p.check(id)
+	return p.cores[id]
+}
+
+// Cores returns a snapshot of all core states.
+func (p *Platform) Cores() []Core {
+	out := make([]Core, len(p.cores))
+	copy(out, p.cores)
+	return out
+}
+
+// SocketCores returns the IDs of the cores on a socket.
+func (p *Platform) SocketCores(socket int) []int {
+	if socket < 0 || socket >= p.cfg.Sockets {
+		panic(fmt.Sprintf("platform: socket %d out of range", socket))
+	}
+	out := make([]int, 0, p.cfg.CoresPerSocket)
+	for _, c := range p.cores {
+		if c.Socket == socket {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// SetFreq sets the DVFS state of one core (clamped to the legal range
+// and snapped to the 0.1 GHz grid, as the acpi-cpufreq governor would).
+func (p *Platform) SetFreq(id int, ghz float64) {
+	p.check(id)
+	p.cores[id].FreqGHz = FreqForStep(StepForFreq(ghz))
+}
+
+// SetOnline hotplugs a core in or out. Offline cores drop their owners.
+func (p *Platform) SetOnline(id int, online bool) {
+	p.check(id)
+	p.cores[id].Online = online
+	if !online {
+		p.cores[id].Owners = nil
+	}
+}
+
+// ClearAffinity removes all service→core assignments.
+func (p *Platform) ClearAffinity() {
+	for i := range p.cores {
+		p.cores[i].Owners = nil
+	}
+}
+
+// Assign affines a service to a core (sched_setaffinity equivalent).
+// Assigning to an offline core is an error.
+func (p *Platform) Assign(service, coreID int) error {
+	p.check(coreID)
+	if !p.cores[coreID].Online {
+		return fmt.Errorf("platform: core %d is offline", coreID)
+	}
+	for _, o := range p.cores[coreID].Owners {
+		if o == service {
+			return nil
+		}
+	}
+	p.cores[coreID].Owners = append(p.cores[coreID].Owners, service)
+	return nil
+}
+
+// ServiceCores returns the cores a service is affined to.
+func (p *Platform) ServiceCores(service int) []int {
+	var out []int
+	for _, c := range p.cores {
+		for _, o := range c.Owners {
+			if o == service {
+				out = append(out, c.ID)
+			}
+		}
+	}
+	return out
+}
+
+// ShareOf returns the time share a service receives on a core
+// (1/len(owners)), or 0 if not assigned or offline.
+func (p *Platform) ShareOf(service, coreID int) float64 {
+	p.check(coreID)
+	c := p.cores[coreID]
+	if !c.Online || len(c.Owners) == 0 {
+		return 0
+	}
+	for _, o := range c.Owners {
+		if o == service {
+			return 1 / float64(len(c.Owners))
+		}
+	}
+	return 0
+}
+
+func (p *Platform) check(id int) {
+	if id < 0 || id >= len(p.cores) {
+		panic(fmt.Sprintf("platform: core %d out of range [0,%d)", id, len(p.cores)))
+	}
+}

@@ -1,0 +1,144 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFrequencies(t *testing.T) {
+	fs := Frequencies()
+	if len(fs) != 9 {
+		t.Fatalf("expected 9 DVFS states, got %d", len(fs))
+	}
+	if fs[0] != 1.2 || fs[8] != 2.0 {
+		t.Fatalf("range = [%v, %v]", fs[0], fs[8])
+	}
+	for i := 1; i < len(fs); i++ {
+		if math.Abs(fs[i]-fs[i-1]-0.1) > 1e-9 {
+			t.Fatalf("step between %v and %v", fs[i-1], fs[i])
+		}
+	}
+}
+
+func TestFreqStepRoundtrip(t *testing.T) {
+	for step := 0; step < NumFreqSteps; step++ {
+		if got := StepForFreq(FreqForStep(step)); got != step {
+			t.Fatalf("StepForFreq(FreqForStep(%d)) = %d", step, got)
+		}
+	}
+	if FreqForStep(-5) != MinFreqGHz || FreqForStep(99) != MaxFreqGHz {
+		t.Fatal("FreqForStep must clamp")
+	}
+	if StepForFreq(0.1) != 0 || StepForFreq(9.9) != NumFreqSteps-1 {
+		t.Fatal("StepForFreq must clamp")
+	}
+	if StepForFreq(1.44) != 2 { // nearest is 1.4
+		t.Fatalf("StepForFreq(1.44) = %d", StepForFreq(1.44))
+	}
+}
+
+func TestNewPlatformLayout(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.NumCores() != 36 {
+		t.Fatalf("NumCores = %d", p.NumCores())
+	}
+	s0 := p.SocketCores(0)
+	s1 := p.SocketCores(1)
+	if len(s0) != 18 || len(s1) != 18 {
+		t.Fatalf("socket sizes %d/%d", len(s0), len(s1))
+	}
+	if p.Core(s1[0]).Socket != 1 {
+		t.Fatal("socket attribution")
+	}
+	for _, c := range p.Cores() {
+		if !c.Online || c.FreqGHz != MinFreqGHz {
+			t.Fatal("cores must start online at min frequency")
+		}
+	}
+}
+
+func TestSetFreqSnapsToGrid(t *testing.T) {
+	p := New(DefaultConfig())
+	p.SetFreq(3, 1.57)
+	if got := p.Core(3).FreqGHz; got != 1.6 {
+		t.Fatalf("snapped freq = %v", got)
+	}
+	p.SetFreq(3, 5.0)
+	if p.Core(3).FreqGHz != MaxFreqGHz {
+		t.Fatal("freq must clamp to max")
+	}
+}
+
+func TestAffinityAndSharing(t *testing.T) {
+	p := New(DefaultConfig())
+	if err := p.Assign(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Assign(0, 4); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := p.Assign(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ShareOf(0, 4); got != 0.5 {
+		t.Fatalf("ShareOf = %v", got)
+	}
+	if got := p.ShareOf(2, 4); got != 0 {
+		t.Fatalf("unassigned ShareOf = %v", got)
+	}
+	if cores := p.ServiceCores(0); len(cores) != 1 || cores[0] != 4 {
+		t.Fatalf("ServiceCores = %v", cores)
+	}
+	p.ClearAffinity()
+	if len(p.ServiceCores(0)) != 0 {
+		t.Fatal("ClearAffinity")
+	}
+}
+
+func TestHotplug(t *testing.T) {
+	p := New(DefaultConfig())
+	if err := p.Assign(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	p.SetOnline(7, false)
+	if len(p.ServiceCores(0)) != 0 {
+		t.Fatal("offline core must drop owners")
+	}
+	if err := p.Assign(0, 7); err == nil {
+		t.Fatal("assigning to offline core must fail")
+	}
+	if p.ShareOf(0, 7) != 0 {
+		t.Fatal("offline share must be 0")
+	}
+	p.SetOnline(7, true)
+	if err := p.Assign(0, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	p := New(DefaultConfig())
+	for _, f := range []func(){
+		func() { p.Core(-1) },
+		func() { p.Core(99) },
+		func() { p.SocketCores(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Sockets: 0, CoresPerSocket: 4})
+}

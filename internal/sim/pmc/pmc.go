@@ -1,0 +1,184 @@
+// Package pmc synthesises the eleven Table-I hardware performance
+// monitoring counters from simulator ground truth, and provides the
+// calibration microbenchmarks the paper uses to find each counter's
+// maximum value (a CPU-intensive kernel for the cycle/instruction
+// counters, a branchy kernel for the branch counters, and STREAM for the
+// cache counters). Counters are per-service, summed over the service's
+// threads, exactly as libpfm would report them.
+package pmc
+
+import "math/rand"
+
+// Index identifies one of the Table-I counters.
+type Index int
+
+// The Table-I counters, in the paper's order. The paper's PCA ranks
+// PERF_COUNT_HW_BRANCH_MISSES most important, followed by LLC_MISSES.
+const (
+	UnhaltedCoreCycles Index = iota
+	InstructionRetired
+	PerfCountHWCPUCycles
+	UnhaltedReferenceCycles
+	UopsRetired
+	BranchInstructionsRetired
+	MispredictedBranchRetired
+	PerfCountHWBranchMisses
+	LLCMisses
+	PerfCountHWCacheL1D
+	PerfCountHWCacheL1I
+	NumCounters
+)
+
+// Names lists the Table-I counter names in order.
+var Names = [NumCounters]string{
+	"UNHALTED_CORE_CYCLES",
+	"INSTRUCTION_RETIRED",
+	"PERF_COUNT_HW_CPU_CYCLES",
+	"UNHALTED_REFERENCE_CYCLES",
+	"UOPS_RETIRED",
+	"BRANCH_INSTRUCTIONS_RETIRED",
+	"MISPREDICTED_BRANCH_RETIRED",
+	"PERF_COUNT_HW_BRANCH_MISSES",
+	"LLC_MISSES",
+	"PERF_COUNT_HW_CACHE_L1D",
+	"PERF_COUNT_HW_CACHE_L1I",
+}
+
+// Sample is one interval's counter vector for one service.
+type Sample [NumCounters]float64
+
+// GroundTruth is what the simulator knows about a service's interval;
+// the synthesiser turns it into counters.
+type GroundTruth struct {
+	// BusyCoreSeconds is Σ over the service's cores of busy time.
+	BusyCoreSeconds float64
+	// AvgFreqGHz is the work-weighted average frequency of those cores.
+	AvgFreqGHz float64
+	// WorkDone is the uninflated work processed (GHz·core·seconds):
+	// instructions executed are proportional to it.
+	WorkDone float64
+	// Inflation is the interference inflation that was in effect;
+	// inflated work burns cycles without retiring extra instructions.
+	Inflation float64
+	// LLCMissFactor scales the baseline LLC miss rate.
+	LLCMissFactor float64
+}
+
+// Rates captures the per-service microarchitectural ratios (copied from
+// the service profile to keep this package free of that dependency).
+type Rates struct {
+	IPCBase        float64
+	BranchRatio    float64
+	BranchMissRate float64
+	MemAccessRate  float64
+	L1DRate        float64
+	L1IRate        float64
+	UopFactor      float64
+}
+
+// Synthesizer produces noisy counter samples.
+type Synthesizer struct {
+	rng   *rand.Rand
+	noise float64
+}
+
+// NewSynthesizer creates a synthesiser with the given relative
+// measurement noise (the paper's perfmon samples are noisy at the ~2%
+// level); rng may be nil for noiseless output.
+func NewSynthesizer(rng *rand.Rand, noise float64) *Synthesizer {
+	return &Synthesizer{rng: rng, noise: noise}
+}
+
+// Synthesize converts ground truth into a Table-I counter sample.
+//
+// Derivations: cycles = busy·f·1e9; reference cycles use the 2.0 GHz
+// reference clock; instructions ∝ uninflated work (interference makes
+// the same instructions take more cycles, lowering IPC); branch and
+// cache events are fixed per-instruction ratios, with contention raising
+// the LLC miss rate through LLCMissFactor.
+func (s *Synthesizer) Synthesize(gt GroundTruth, r Rates) Sample {
+	var out Sample
+	cycles := gt.BusyCoreSeconds * gt.AvgFreqGHz * 1e9
+	refCycles := gt.BusyCoreSeconds * 2.0 * 1e9
+	// Instructions are proportional to true (uninflated) work at the
+	// profile's base IPC referenced to cycles at the actual frequency.
+	instr := gt.WorkDone * 1e9 * r.IPCBase
+	out[UnhaltedCoreCycles] = cycles
+	out[PerfCountHWCPUCycles] = cycles
+	out[UnhaltedReferenceCycles] = refCycles
+	out[InstructionRetired] = instr
+	out[UopsRetired] = instr * r.UopFactor
+	branches := instr * r.BranchRatio
+	out[BranchInstructionsRetired] = branches
+	out[MispredictedBranchRetired] = branches * r.BranchMissRate
+	out[PerfCountHWBranchMisses] = branches * r.BranchMissRate
+	out[LLCMisses] = instr * r.MemAccessRate * gt.LLCMissFactor
+	out[PerfCountHWCacheL1D] = instr * r.L1DRate
+	out[PerfCountHWCacheL1I] = instr * r.L1IRate
+	if s.rng != nil && s.noise > 0 {
+		for i := range out {
+			out[i] *= 1 + s.rng.NormFloat64()*s.noise
+			if out[i] < 0 {
+				out[i] = 0
+			}
+		}
+	}
+	return out
+}
+
+// IPC returns instructions per cycle of a sample (0 when no cycles).
+func (sa Sample) IPC() float64 {
+	if sa[UnhaltedCoreCycles] == 0 {
+		return 0
+	}
+	return sa[InstructionRetired] / sa[UnhaltedCoreCycles]
+}
+
+// CalibrationMaxima returns, per counter, the maximum per-second value
+// obtainable on numCores cores at maxFreq GHz, derived from the three
+// calibration microbenchmarks of Sec. IV:
+//
+//   - counters 1–5 from a CPU-intensive kernel with no memory accesses
+//     (IPC ≈ 4 on the Broadwell 4-wide front end),
+//   - counters 6–8 from a branch-heavy kernel aggregating an unsorted
+//     vector (≈ 1 branch per 4 instructions, 25% mispredicted),
+//   - counters 9–11 from STREAM (one LLC miss per 8 accesses at full
+//     bandwidth).
+func CalibrationMaxima(numCores int, maxFreqGHz float64) Sample {
+	var m Sample
+	cores := float64(numCores)
+	cycles := cores * maxFreqGHz * 1e9
+	m[UnhaltedCoreCycles] = cycles
+	m[PerfCountHWCPUCycles] = cycles
+	m[UnhaltedReferenceCycles] = cores * 2.0 * 1e9
+	instrMax := cycles * 4 // 4-wide retire
+	m[InstructionRetired] = instrMax
+	m[UopsRetired] = instrMax * 1.5
+
+	branchInstr := cycles * 2 // branchy kernel: lower IPC, dense branches
+	m[BranchInstructionsRetired] = branchInstr * 0.25
+	m[MispredictedBranchRetired] = branchInstr * 0.25 * 0.25
+	m[PerfCountHWBranchMisses] = branchInstr * 0.25 * 0.25
+
+	streamInstr := cycles * 0.8 // STREAM: memory bound, low IPC
+	m[PerfCountHWCacheL1D] = streamInstr * 0.6
+	m[PerfCountHWCacheL1I] = streamInstr * 0.15
+	m[LLCMisses] = streamInstr * 0.6 / 8
+	return m
+}
+
+// Normalize feature-scales a sample into [0,1] by the calibration
+// maxima (max-value normalisation, Sec. III-B1), clamping at 1.
+func Normalize(s, maxima Sample) Sample {
+	var out Sample
+	for i := range s {
+		if maxima[i] > 0 {
+			v := s[i] / maxima[i]
+			if v > 1 {
+				v = 1
+			}
+			out[i] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package pmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testRates() Rates {
+	return Rates{
+		IPCBase:        1.2,
+		BranchRatio:    0.2,
+		BranchMissRate: 0.02,
+		MemAccessRate:  0.01,
+		L1DRate:        0.35,
+		L1IRate:        0.1,
+		UopFactor:      1.3,
+	}
+}
+
+func TestNamesCoverAllCounters(t *testing.T) {
+	if int(NumCounters) != 11 {
+		t.Fatalf("NumCounters = %d, Table I has 11", NumCounters)
+	}
+	for i, n := range Names {
+		if n == "" {
+			t.Fatalf("counter %d unnamed", i)
+		}
+	}
+}
+
+func TestSynthesizeBasicRelations(t *testing.T) {
+	s := NewSynthesizer(nil, 0)
+	gt := GroundTruth{
+		BusyCoreSeconds: 4,
+		AvgFreqGHz:      1.6,
+		WorkDone:        5,
+		Inflation:       1,
+		LLCMissFactor:   1,
+	}
+	out := s.Synthesize(gt, testRates())
+	if got := out[UnhaltedCoreCycles]; math.Abs(got-4*1.6e9) > 1 {
+		t.Fatalf("cycles = %v", got)
+	}
+	if out[PerfCountHWCPUCycles] != out[UnhaltedCoreCycles] {
+		t.Fatal("noiseless CPU cycles must equal core cycles")
+	}
+	if got := out[UnhaltedReferenceCycles]; math.Abs(got-4*2e9) > 1 {
+		t.Fatalf("ref cycles = %v", got)
+	}
+	instr := out[InstructionRetired]
+	if math.Abs(instr-5e9*1.2) > 1 {
+		t.Fatalf("instructions = %v", instr)
+	}
+	if math.Abs(out[UopsRetired]-instr*1.3) > 1 {
+		t.Fatal("uops")
+	}
+	if math.Abs(out[BranchInstructionsRetired]-instr*0.2) > 1 {
+		t.Fatal("branches")
+	}
+	if out[MispredictedBranchRetired] != out[PerfCountHWBranchMisses] {
+		t.Fatal("branch miss counters must agree without noise")
+	}
+	if math.Abs(out[PerfCountHWCacheL1D]-instr*0.35) > 1 {
+		t.Fatal("L1D")
+	}
+}
+
+func TestInterferenceLowersIPCAndRaisesMisses(t *testing.T) {
+	s := NewSynthesizer(nil, 0)
+	clean := s.Synthesize(GroundTruth{
+		BusyCoreSeconds: 2, AvgFreqGHz: 2, WorkDone: 4, Inflation: 1, LLCMissFactor: 1,
+	}, testRates())
+	// Same true work, but inflation means more busy time for it.
+	dirty := s.Synthesize(GroundTruth{
+		BusyCoreSeconds: 3, AvgFreqGHz: 2, WorkDone: 4, Inflation: 1.5, LLCMissFactor: 2,
+	}, testRates())
+	if dirty.IPC() >= clean.IPC() {
+		t.Fatalf("interference must lower IPC: %v vs %v", dirty.IPC(), clean.IPC())
+	}
+	if dirty[LLCMisses] <= clean[LLCMisses] {
+		t.Fatal("interference must raise LLC misses")
+	}
+	if dirty[InstructionRetired] != clean[InstructionRetired] {
+		t.Fatal("instructions depend on true work, not inflation")
+	}
+}
+
+func TestNoiseIsBoundedAndNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSynthesizer(rng, 0.02)
+	gt := GroundTruth{BusyCoreSeconds: 1, AvgFreqGHz: 2, WorkDone: 1, Inflation: 1, LLCMissFactor: 1}
+	base := NewSynthesizer(nil, 0).Synthesize(gt, testRates())
+	for trial := 0; trial < 50; trial++ {
+		noisy := s.Synthesize(gt, testRates())
+		for i := range noisy {
+			if noisy[i] < 0 {
+				t.Fatal("negative counter")
+			}
+			if base[i] > 0 && math.Abs(noisy[i]-base[i])/base[i] > 0.15 {
+				t.Fatalf("counter %d deviates %v vs %v", i, noisy[i], base[i])
+			}
+		}
+	}
+}
+
+func TestCalibrationMaximaDominateRealistic(t *testing.T) {
+	// A plausible fully-loaded service must stay under the calibration
+	// maxima for every counter (so normalised values stay ≤ 1).
+	max := CalibrationMaxima(18, 2.0)
+	s := NewSynthesizer(nil, 0)
+	gt := GroundTruth{
+		BusyCoreSeconds: 18, // all cores busy for a full second
+		AvgFreqGHz:      2.0,
+		WorkDone:        36,
+		Inflation:       1,
+		LLCMissFactor:   3,
+	}
+	out := s.Synthesize(gt, testRates())
+	for i := range out {
+		if out[i] > max[i] {
+			t.Fatalf("counter %s: %v exceeds calibration max %v", Names[i], out[i], max[i])
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	var s, m Sample
+	s[0], m[0] = 5, 10
+	s[1], m[1] = 20, 10 // over max clamps to 1
+	s[2], m[2] = 3, 0   // zero max stays 0
+	n := Normalize(s, m)
+	if n[0] != 0.5 || n[1] != 1 || n[2] != 0 {
+		t.Fatalf("Normalize = %v", n[:3])
+	}
+}
+
+func TestIPCZeroCycles(t *testing.T) {
+	var s Sample
+	if s.IPC() != 0 {
+		t.Fatal("IPC of empty sample")
+	}
+}

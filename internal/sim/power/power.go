@@ -1,0 +1,131 @@
+// Package power models socket power consumption and the RAPL-style
+// measurement interface Twig polls. Per-core dynamic power follows the
+// first-order CMOS shape a·f³ + b·f scaled by utilisation, plus per-core
+// idle leakage and a fixed uncore/package term — so, like the real
+// platform, only socket-level totals are observable and Twig must build
+// its own per-service model (Eq. 2) for the reward.
+package power
+
+import "math/rand"
+
+// Config holds the power-model coefficients, in watts with f in GHz.
+type Config struct {
+	// CubicCoeff and LinearCoeff define per-core active power at
+	// utilisation 1: a·f³ + b·f.
+	CubicCoeff  float64
+	LinearCoeff float64
+	// IdleCorePower plus IdleFreqCoeff·f is the power of an online,
+	// unowned idle core at f GHz (deep C-states) — idle power grows
+	// with the DVFS setting, which is why the mapper drops unused cores
+	// to the lowest state. Hot-unplugged cores consume nothing.
+	IdleCorePower float64
+	IdleFreqCoeff float64
+	// ShallowIdleFrac is the fraction of active power an *owned* core
+	// burns while idle: a core affined to a service is woken too often
+	// to reach deep C-states, which is why allocating fewer cores saves
+	// energy even at equal work.
+	ShallowIdleFrac float64
+	// UncorePower is the fixed per-socket package power.
+	UncorePower float64
+	// MeasurementNoise is the relative σ of the RAPL readout.
+	MeasurementNoise float64
+}
+
+// DefaultConfig approximates an 18-core Xeon E5-2695v4 socket (120 W TDP:
+// ~5 W per fully busy core at 2 GHz plus ~18 W uncore).
+func DefaultConfig() Config {
+	return Config{
+		CubicCoeff:       0.25,
+		LinearCoeff:      1.50,
+		IdleCorePower:    0.25,
+		IdleFreqCoeff:    0.30,
+		ShallowIdleFrac:  0.30,
+		UncorePower:      18,
+		MeasurementNoise: 0.01,
+	}
+}
+
+// CoreState is the per-core activity observed during one interval.
+type CoreState struct {
+	Online  bool
+	FreqGHz float64
+	// Utilization ∈ [0,1] is the busy fraction of the interval.
+	Utilization float64
+	// Owned marks cores affined to at least one service; their idle
+	// residency is shallow (see Config.ShallowIdleFrac).
+	Owned bool
+}
+
+// Model computes socket power.
+type Model struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New creates a power model; rng adds RAPL measurement noise (nil for a
+// noiseless model).
+func New(cfg Config, rng *rand.Rand) *Model {
+	return &Model{cfg: cfg, rng: rng}
+}
+
+// Config returns the coefficients.
+func (m *Model) Config() Config { return m.cfg }
+
+// CoreActivePower returns the power of one fully busy core at f GHz.
+func (m *Model) CoreActivePower(f float64) float64 {
+	return m.cfg.CubicCoeff*f*f*f + m.cfg.LinearCoeff*f
+}
+
+// CoreIdlePower returns the power of an online idle core at f GHz.
+func (m *Model) CoreIdlePower(f float64) float64 {
+	return m.cfg.IdleCorePower + m.cfg.IdleFreqCoeff*f
+}
+
+// SocketPower returns the true (noiseless) socket power for the given
+// core states.
+func (m *Model) SocketPower(cores []CoreState) float64 {
+	p := m.cfg.UncorePower
+	for _, c := range cores {
+		if !c.Online {
+			continue
+		}
+		u := c.Utilization
+		if u < 0 {
+			u = 0
+		}
+		if u > 1 {
+			u = 1
+		}
+		idle := m.CoreIdlePower(c.FreqGHz)
+		if c.Owned {
+			if shallow := m.cfg.ShallowIdleFrac * m.CoreActivePower(c.FreqGHz); shallow > idle {
+				idle = shallow
+			}
+		}
+		p += u*m.CoreActivePower(c.FreqGHz) + (1-u)*idle
+	}
+	return p
+}
+
+// ReadRAPL returns the measured socket power: the true power plus
+// multiplicative measurement noise, like polling the RAPL MSR.
+func (m *Model) ReadRAPL(cores []CoreState) float64 {
+	p := m.SocketPower(cores)
+	if m.rng != nil && m.cfg.MeasurementNoise > 0 {
+		p *= 1 + m.rng.NormFloat64()*m.cfg.MeasurementNoise
+	}
+	return p
+}
+
+// IdlePower returns the socket power with every core online but idle at
+// the lowest DVFS setting.
+func (m *Model) IdlePower(numCores int) float64 {
+	return m.cfg.UncorePower + float64(numCores)*m.CoreIdlePower(1.2)
+}
+
+// MaxPower returns the socket power of the stress microbenchmark the
+// paper uses for normalisation: every core busy at the maximum DVFS
+// setting with no memory accesses.
+func (m *Model) MaxPower(numCores int, maxFreqGHz float64) float64 {
+	return m.cfg.UncorePower + float64(numCores)*m.CoreActivePower(maxFreqGHz)
+}

@@ -1,0 +1,93 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestActivePowerCubicInFrequency(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	p12 := m.CoreActivePower(1.2)
+	p20 := m.CoreActivePower(2.0)
+	if p20 <= p12 {
+		t.Fatal("power must grow with frequency")
+	}
+	// Cubic term dominance: doubling work rate via frequency costs more
+	// than proportionally.
+	if p20/p12 <= 2.0/1.2 {
+		t.Fatalf("power ratio %v should exceed frequency ratio %v", p20/p12, 2.0/1.2)
+	}
+}
+
+func TestIdlePowerGrowsWithFrequency(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	if m.CoreIdlePower(2.0) <= m.CoreIdlePower(1.2) {
+		t.Fatal("idle power must grow with DVFS state")
+	}
+}
+
+func TestSocketPowerComposition(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	cfg := DefaultConfig()
+	cores := []CoreState{
+		{Online: true, FreqGHz: 2.0, Utilization: 1},
+		{Online: true, FreqGHz: 1.2, Utilization: 0},
+		{Online: false, FreqGHz: 2.0, Utilization: 1}, // offline: free
+	}
+	want := cfg.UncorePower + m.CoreActivePower(2.0) + m.CoreIdlePower(1.2)
+	if got := m.SocketPower(cores); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SocketPower = %v, want %v", got, want)
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	over := m.SocketPower([]CoreState{{Online: true, FreqGHz: 2.0, Utilization: 5}})
+	exact := m.SocketPower([]CoreState{{Online: true, FreqGHz: 2.0, Utilization: 1}})
+	if over != exact {
+		t.Fatal("utilisation must clamp to [0,1]")
+	}
+	under := m.SocketPower([]CoreState{{Online: true, FreqGHz: 2.0, Utilization: -1}})
+	idle := m.SocketPower([]CoreState{{Online: true, FreqGHz: 2.0, Utilization: 0}})
+	if under != idle {
+		t.Fatal("negative utilisation must clamp to 0")
+	}
+}
+
+func TestRAPLNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(DefaultConfig(), rng)
+	cores := []CoreState{{Online: true, FreqGHz: 2.0, Utilization: 0.5}}
+	truth := m.SocketPower(cores)
+	var deviated bool
+	for i := 0; i < 20; i++ {
+		r := m.ReadRAPL(cores)
+		if math.Abs(r-truth)/truth > 0.1 {
+			t.Fatalf("RAPL noise too large: %v vs %v", r, truth)
+		}
+		if r != truth {
+			deviated = true
+		}
+	}
+	if !deviated {
+		t.Fatal("RAPL readings should carry noise")
+	}
+	noiseless := New(DefaultConfig(), nil)
+	if noiseless.ReadRAPL(cores) != noiseless.SocketPower(cores) {
+		t.Fatal("nil rng must be noiseless")
+	}
+}
+
+func TestMaxAndIdlePower(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	maxP := m.MaxPower(18, 2.0)
+	idleP := m.IdlePower(18)
+	if maxP <= idleP {
+		t.Fatal("max power must exceed idle power")
+	}
+	// TDP sanity: an 18-core socket flat out lands in a plausible range.
+	if maxP < 80 || maxP > 160 {
+		t.Fatalf("MaxPower = %v W, implausible for the modelled socket", maxP)
+	}
+}

@@ -1,0 +1,350 @@
+// Package service models latency-critical cloud services as open-loop
+// queueing systems. A service receives Poisson request arrivals; each
+// request carries a log-normally distributed amount of work (measured in
+// GHz·core·seconds); the cores allocated to the service form a fluid
+// server whose aggregate capacity depends on core count, per-core DVFS
+// setting, the service's frequency sensitivity, software scalability and
+// the interference inflation imposed by colocated services. This
+// reproduces the behaviours Twig's controller exploits: tail latency
+// rises with load, falls with cores and frequency, and blows up
+// exponentially at saturation (the Table II capacity knee).
+package service
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Profile is the static characterisation of one service.
+type Profile struct {
+	// Name identifies the service ("masstree", "moses", ...).
+	Name string
+	// MaxLoadRPS is the saturation load with a full socket at the
+	// highest DVFS setting (Table II).
+	MaxLoadRPS float64
+	// RhoMax is the target utilisation of a full socket at MaxLoadRPS;
+	// it calibrates the mean work per request.
+	RhoMax float64
+	// WorkSigma is the σ of the log-normal request-work distribution;
+	// larger values give heavier latency tails.
+	WorkSigma float64
+	// FreqSensitivity α ∈ [0,1]: the fraction of request work that
+	// scales with core frequency (compute-bound ≈ 1, memory-bound < 1).
+	FreqSensitivity float64
+	// SerialFraction is the Amdahl serial fraction limiting software
+	// scalability across cores.
+	SerialFraction float64
+
+	// Interference characterisation.
+	// BWPerWork is the memory bandwidth demand in GB per unit of work.
+	BWPerWork float64
+	// BWSensitivity scales how much bandwidth contention inflates work.
+	BWSensitivity float64
+	// CacheMB is the LLC footprint the service wants.
+	CacheMB float64
+	// CacheSensitivity scales how much cache pressure inflates work.
+	CacheSensitivity float64
+
+	// Microarchitectural rates used to synthesise PMCs.
+	IPCBase        float64 // instructions per cycle when uncontended
+	BranchRatio    float64 // branch instructions per instruction
+	BranchMissRate float64 // mispredictions per branch
+	MemAccessRate  float64 // LLC-bound accesses per instruction
+	L1DRate        float64 // L1D accesses per instruction
+	L1IRate        float64 // L1I accesses per instruction
+	UopFactor      float64 // µops per instruction
+}
+
+// ReferenceFreqGHz is the frequency that defines one unit of work per
+// core-second (the platform's maximum DVFS setting).
+const ReferenceFreqGHz = 2.0
+
+// MeanWork returns the calibrated mean request work in GHz·core·seconds:
+// at MaxLoadRPS a full socket of fullCores cores at the reference
+// frequency runs at utilisation RhoMax.
+func (p Profile) MeanWork(fullCores int) float64 {
+	return p.RhoMax * float64(fullCores) * ReferenceFreqGHz / p.MaxLoadRPS
+}
+
+// CapacityGHz returns the aggregate service capacity, in work units per
+// second, of an allocation described by per-core (shareₖ, freqₖ) pairs,
+// before interference inflation. Frequency sensitivity blends the actual
+// frequency with the reference; the Amdahl term models software
+// scalability limits.
+func (p Profile) CapacityGHz(shares, freqs []float64) float64 {
+	if len(shares) != len(freqs) {
+		panic("service: shares/freqs length mismatch")
+	}
+	var total, effCores float64
+	for i, sh := range shares {
+		if sh <= 0 {
+			continue
+		}
+		rate := p.FreqSensitivity*freqs[i] + (1-p.FreqSensitivity)*ReferenceFreqGHz
+		total += sh * rate
+		effCores += sh
+	}
+	if effCores > 1 && p.SerialFraction > 0 {
+		total /= 1 + p.SerialFraction*(effCores-1)
+	}
+	return total
+}
+
+// Request is one in-flight request.
+type Request struct {
+	Arrival float64 // absolute seconds
+	Work    float64 // remaining work, GHz·core·seconds
+}
+
+// IntervalStats summarises one monitoring interval of a service.
+type IntervalStats struct {
+	// Arrivals and Completed count requests in this interval.
+	Arrivals  int
+	Completed int
+	// P99Ms and P95Ms are tail-latency percentiles over the trailing
+	// measurement window (LatencyWindowIntervals); MeanMs is the mean
+	// sojourn of requests completed this interval. All in milliseconds.
+	P99Ms, P95Ms, MeanMs float64
+	// MaxMs is the worst sojourn observed this interval.
+	MaxMs float64
+	// QueueLen is the backlog carried into the next interval.
+	QueueLen int
+	// WorkDone is the work processed, in GHz·core·seconds.
+	WorkDone float64
+	// BusySeconds is the wall-clock time the fluid server was busy.
+	BusySeconds float64
+	// CapacityGHz is the capacity that was available.
+	CapacityGHz float64
+	// Dropped counts arrivals discarded because the backlog cap was hit
+	// (deep overload only).
+	Dropped int
+	// InflationApplied is the interference inflation factor in effect.
+	InflationApplied float64
+}
+
+// LatencyWindowIntervals is the number of trailing monitoring intervals
+// whose completed-request sojourns back the reported p99 — the log-file
+// interface of Sec. IV computes the latency distribution over a short
+// trailing window rather than a single second, which keeps the
+// percentile estimate stable at moderate request rates.
+const LatencyWindowIntervals = 2
+
+// Instance is the mutable runtime state of one service.
+type Instance struct {
+	Profile  Profile
+	meanWork float64
+	lnMu     float64
+
+	rng     *rand.Rand
+	pending []Request
+	now     float64
+
+	// window holds the per-interval sojourn samples (seconds) backing
+	// the trailing-window latency percentiles.
+	window [][]float64
+
+	// maxBacklog bounds the pending queue during deep saturation.
+	maxBacklog int
+}
+
+// NewInstance creates a service instance calibrated for a full socket of
+// fullCores cores.
+func NewInstance(p Profile, fullCores int, seed int64) *Instance {
+	if p.MaxLoadRPS <= 0 || p.RhoMax <= 0 {
+		panic(fmt.Sprintf("service: profile %q missing load calibration", p.Name))
+	}
+	mean := p.MeanWork(fullCores)
+	// The pending queue is bounded at roughly a tenth of a second of
+	// maximum load — real LC services bound connection backlogs at a few
+	// hundred requests, and anything deeper is hopeless once it is far
+	// past the tail-latency target. Saturation therefore recovers within
+	// one monitoring interval, as it does on the paper's testbed where
+	// queues hold milliseconds of work.
+	backlog := int(0.1 * p.MaxLoadRPS)
+	if backlog < 200 {
+		backlog = 200
+	}
+	return &Instance{
+		Profile:    p,
+		meanWork:   mean,
+		lnMu:       math.Log(mean) - p.WorkSigma*p.WorkSigma/2,
+		rng:        rand.New(rand.NewSource(seed)),
+		maxBacklog: backlog,
+	}
+}
+
+// MeanWork returns the calibrated mean request work.
+func (s *Instance) MeanWork() float64 { return s.meanWork }
+
+// Now returns the instance's current simulated time in seconds.
+func (s *Instance) Now() float64 { return s.now }
+
+// QueueLen returns the current backlog.
+func (s *Instance) QueueLen() int { return len(s.pending) }
+
+// ResetQueue drops all pending requests (used between experiments).
+func (s *Instance) ResetQueue() { s.pending = s.pending[:0] }
+
+// drawWork samples one request's work demand.
+func (s *Instance) drawWork() float64 {
+	return math.Exp(s.lnMu + s.Profile.WorkSigma*s.rng.NormFloat64())
+}
+
+// RunInterval advances the service by dt seconds with Poisson arrivals at
+// rateRPS and the given aggregate capacity (work units per second, after
+// frequency scaling) under the given interference inflation factor
+// (≥ 1; inflation multiplies every request's work).
+func (s *Instance) RunInterval(rateRPS, capacity, inflation, dt float64) IntervalStats {
+	if inflation < 1 {
+		inflation = 1
+	}
+	start := s.now
+	end := start + dt
+	st := IntervalStats{CapacityGHz: capacity, InflationApplied: inflation}
+
+	// Generate Poisson arrivals within [start, end).
+	var arrivals []Request
+	if rateRPS > 0 {
+		t := start
+		for {
+			t += s.rng.ExpFloat64() / rateRPS
+			if t >= end {
+				break
+			}
+			arrivals = append(arrivals, Request{Arrival: t, Work: s.drawWork() * inflation})
+		}
+	}
+	st.Arrivals = len(arrivals)
+
+	// The backlog requests arrived earlier; process FIFO by arrival.
+	queue := s.pending
+	s.pending = nil
+
+	var sojourns []float64
+	free := start // when the fluid server is next free
+	ai := 0
+	pop := func() (Request, bool) {
+		if len(queue) > 0 {
+			r := queue[0]
+			queue = queue[1:]
+			return r, true
+		}
+		if ai < len(arrivals) {
+			r := arrivals[ai]
+			ai++
+			return r, true
+		}
+		return Request{}, false
+	}
+
+	if capacity <= 0 {
+		// No capacity: everything queues.
+		s.pending = append(queue, arrivals[ai:]...)
+		st.QueueLen = len(s.pending)
+		s.now = end
+		if len(s.pending) > 0 {
+			st.P99Ms = (end - s.pending[0].Arrival) * 1000
+			st.MaxMs = st.P99Ms
+			st.MeanMs = st.P99Ms
+		}
+		s.capBacklog(&st)
+		return st
+	}
+
+	for {
+		r, ok := pop()
+		if !ok {
+			break
+		}
+		begin := free
+		if r.Arrival > begin {
+			begin = r.Arrival
+		}
+		if begin >= end {
+			// Cannot start this interval: requeue untouched.
+			s.pending = append(s.pending, r)
+			continue
+		}
+		need := r.Work / capacity
+		finish := begin + need
+		if finish <= end {
+			st.WorkDone += r.Work
+			st.BusySeconds += finish - begin
+			free = finish
+			sojourns = append(sojourns, finish-r.Arrival)
+			st.Completed++
+			continue
+		}
+		// Partially processed: consume the remaining interval.
+		processed := (end - begin) * capacity
+		st.WorkDone += processed
+		st.BusySeconds += end - begin
+		r.Work -= processed
+		s.pending = append(s.pending, r)
+		free = end
+	}
+
+	s.now = end
+	st.QueueLen = len(s.pending)
+	s.capBacklog(&st)
+
+	// Push this interval's samples into the trailing window.
+	s.window = append(s.window, sojourns)
+	if len(s.window) > LatencyWindowIntervals {
+		s.window = s.window[1:]
+	}
+	var windowed []float64
+	for _, w := range s.window {
+		windowed = append(windowed, w...)
+	}
+
+	if len(sojourns) > 0 {
+		st.MaxMs = sojourns[len(sojourns)-1] * 1000 // sorted below first
+	}
+	if len(windowed) > 0 {
+		sort.Float64s(windowed)
+		st.P99Ms = quantileSorted(windowed, 0.99) * 1000
+		st.P95Ms = quantileSorted(windowed, 0.95) * 1000
+	}
+	if len(sojourns) > 0 {
+		sort.Float64s(sojourns)
+		st.MaxMs = sojourns[len(sojourns)-1] * 1000
+		var sum float64
+		for _, v := range sojourns {
+			sum += v
+		}
+		st.MeanMs = sum / float64(len(sojourns)) * 1000
+	}
+	if len(windowed) == 0 && len(s.pending) > 0 {
+		// Nothing completed recently: report the age of the oldest
+		// queued request as the latency proxy the log-file would show.
+		age := (end - s.pending[0].Arrival) * 1000
+		st.P99Ms, st.P95Ms, st.MeanMs, st.MaxMs = age, age, age, age
+	}
+	return st
+}
+
+// ResetWindow clears the trailing latency window (used with ResetQueue).
+func (s *Instance) ResetWindow() { s.window = nil }
+
+func (s *Instance) capBacklog(st *IntervalStats) {
+	if len(s.pending) > s.maxBacklog {
+		st.Dropped = len(s.pending) - s.maxBacklog
+		s.pending = s.pending[st.Dropped:]
+	}
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

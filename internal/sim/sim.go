@@ -1,0 +1,388 @@
+// Package sim wires the simulated platform, services, interference,
+// power and PMC models into a stepped server simulation: one Step is one
+// monitoring interval (1 s). Controllers — Twig and the baselines — only
+// interact with the world through what the paper's implementation could
+// observe (tail latency from the service log, per-service PMCs, RAPL
+// socket power) and control (core affinity, per-core DVFS, hotplug).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/twig-sched/twig/internal/sim/batch"
+	"github.com/twig-sched/twig/internal/sim/interference"
+	"github.com/twig-sched/twig/internal/sim/platform"
+	"github.com/twig-sched/twig/internal/sim/pmc"
+	"github.com/twig-sched/twig/internal/sim/power"
+	"github.com/twig-sched/twig/internal/sim/service"
+)
+
+// Config assembles a simulated server.
+type Config struct {
+	Platform     platform.Config
+	Interference interference.Config
+	Power        power.Config
+	// ManagedSocket is the socket hosting the LC servers (clients sit
+	// on the other socket, per the Tailbench loopback configuration).
+	ManagedSocket int
+	// PMCNoise is the relative noise of counter measurements.
+	PMCNoise float64
+	// MeasurementSeed seeds measurement noise (PMC + RAPL).
+	MeasurementSeed int64
+	// Batch, when non-nil, adds a best-effort batch workload that soaks
+	// every online managed core no LC service owns — the colocation
+	// setting Heracles and PARTIES target, where reclaimed resources
+	// become throughput instead of idle savings.
+	Batch *batch.Spec
+}
+
+// DefaultConfig returns the paper's evaluation platform.
+func DefaultConfig() Config {
+	return Config{
+		Platform:      platform.DefaultConfig(),
+		Interference:  interference.DefaultConfig(),
+		Power:         power.DefaultConfig(),
+		ManagedSocket: 1,
+		PMCNoise:      0.02,
+	}
+}
+
+// ServiceSpec attaches a QoS target to a service profile.
+type ServiceSpec struct {
+	Profile     service.Profile
+	QoSTargetMs float64
+	Seed        int64
+}
+
+// Allocation is the resource assignment of one service for the next
+// interval: a set of cores, all at one DVFS setting (matching the
+// papers' managers, which pick one frequency per service).
+type Allocation struct {
+	Cores   []int
+	FreqGHz float64
+	// CacheWays, when positive, reserves that many LLC ways for the
+	// service (Intel CAT). Zero leaves the service competing for the
+	// unreserved capacity.
+	CacheWays int
+}
+
+// Assignment is the full mapping decision for one interval.
+type Assignment struct {
+	PerService []Allocation
+	// IdleFreqGHz, when positive, is applied to online cores no service
+	// owns (Twig's mapper sets the lowest DVFS state to save power).
+	IdleFreqGHz float64
+}
+
+// ServiceStats is everything observable about one service after a step.
+type ServiceStats struct {
+	service.IntervalStats
+	// PMCs are the raw counters; NormPMCs are feature-scaled to [0,1]
+	// by the calibration maxima.
+	PMCs     pmc.Sample
+	NormPMCs pmc.Sample
+	// QoSTargetMs echoes the target for convenience.
+	QoSTargetMs float64
+	// NumCores and FreqGHz echo the applied allocation.
+	NumCores int
+	FreqGHz  float64
+	// OfferedRPS is the load that was applied.
+	OfferedRPS float64
+}
+
+// StepResult is the outcome of one monitoring interval.
+type StepResult struct {
+	Time     int
+	Services []ServiceStats
+	// Batch reports the best-effort workload's progress (zero when no
+	// batch is configured).
+	Batch batch.Stats
+	// PowerW is the RAPL measurement of the managed socket;
+	// TruePowerW is the noiseless value; EnergyJ is TruePowerW × 1 s.
+	PowerW     float64
+	TruePowerW float64
+	EnergyJ    float64
+}
+
+// Server is a running simulated node.
+type Server struct {
+	cfg    Config
+	plat   *platform.Platform
+	specs  []ServiceSpec
+	insts  []*service.Instance
+	interf *interference.Model
+	pow    *power.Model
+	synth  *pmc.Synthesizer
+	maxima pmc.Sample
+
+	clock      int
+	energyJ    float64
+	batchWorkJ float64
+}
+
+// NewServer builds a simulated server hosting the given services.
+func NewServer(cfg Config, specs []ServiceSpec) *Server {
+	plat := platform.New(cfg.Platform)
+	mrng := rand.New(rand.NewSource(cfg.MeasurementSeed + 1))
+	s := &Server{
+		cfg:    cfg,
+		plat:   plat,
+		specs:  specs,
+		interf: interference.New(cfg.Interference),
+		pow:    power.New(cfg.Power, mrng),
+		synth:  pmc.NewSynthesizer(rand.New(rand.NewSource(cfg.MeasurementSeed+2)), cfg.PMCNoise),
+		maxima: pmc.CalibrationMaxima(cfg.Platform.CoresPerSocket, platform.MaxFreqGHz),
+	}
+	for i, spec := range specs {
+		s.insts = append(s.insts, service.NewInstance(spec.Profile, cfg.Platform.CoresPerSocket, spec.Seed+int64(i)))
+	}
+	return s
+}
+
+// Platform exposes the hardware state (controllers use it to enumerate
+// managed cores).
+func (s *Server) Platform() *platform.Platform { return s.plat }
+
+// ManagedCores returns the core IDs of the managed socket.
+func (s *Server) ManagedCores() []int { return s.plat.SocketCores(s.cfg.ManagedSocket) }
+
+// NumServices returns the number of hosted services.
+func (s *Server) NumServices() int { return len(s.insts) }
+
+// Spec returns the i-th service spec.
+func (s *Server) Spec(i int) ServiceSpec { return s.specs[i] }
+
+// Clock returns the simulated time in seconds.
+func (s *Server) Clock() int { return s.clock }
+
+// EnergyJ returns the cumulative managed-socket energy.
+func (s *Server) EnergyJ() float64 { return s.energyJ }
+
+// BatchWork returns the cumulative best-effort batch work completed, in
+// GHz·core·seconds (0 when no batch workload is configured).
+func (s *Server) BatchWork() float64 { return s.batchWorkJ }
+
+// MaxPowerW returns the stress-microbenchmark socket power used to
+// normalise the power reward.
+func (s *Server) MaxPowerW() float64 {
+	return s.pow.MaxPower(s.cfg.Platform.CoresPerSocket, platform.MaxFreqGHz)
+}
+
+// IdlePowerW returns the all-idle managed-socket power.
+func (s *Server) IdlePowerW() float64 {
+	return s.pow.IdlePower(s.cfg.Platform.CoresPerSocket)
+}
+
+// CalibrationMaxima exposes the PMC normalisation vector.
+func (s *Server) CalibrationMaxima() pmc.Sample { return s.maxima }
+
+// Step advances the simulation by one second under the given assignment
+// and offered loads (one RPS per service).
+func (s *Server) Step(asg Assignment, loads []float64) StepResult {
+	if len(asg.PerService) != len(s.insts) || len(loads) != len(s.insts) {
+		panic(fmt.Sprintf("sim: %d services, got %d allocations and %d loads",
+			len(s.insts), len(asg.PerService), len(loads)))
+	}
+	s.applyAssignment(asg)
+
+	// Pre-compute per-service shares, frequencies and capacities.
+	type allocState struct {
+		cores   []int
+		shares  []float64
+		freqs   []float64
+		cap     float64
+		avgFreq float64
+	}
+	states := make([]allocState, len(s.insts))
+	for i, inst := range s.insts {
+		cores := s.plat.ServiceCores(i)
+		st := allocState{cores: cores}
+		var freqSum float64
+		for _, c := range cores {
+			st.shares = append(st.shares, s.plat.ShareOf(i, c))
+			f := s.plat.Core(c).FreqGHz
+			st.freqs = append(st.freqs, f)
+			freqSum += f
+		}
+		if len(cores) > 0 {
+			st.avgFreq = freqSum / float64(len(cores))
+		}
+		st.cap = inst.Profile.CapacityGHz(st.shares, st.freqs)
+		states[i] = st
+	}
+
+	// Interference: offered bandwidth is bounded by what the service
+	// can actually process.
+	demands := make([]interference.Demand, len(s.insts))
+	for i, inst := range s.insts {
+		offered := loads[i] * inst.MeanWork()
+		if offered > states[i].cap {
+			offered = states[i].cap
+		}
+		reservedMB := 0.0
+		if w := asg.PerService[i].CacheWays; w > 0 {
+			reservedMB = float64(w) / platform.NumCacheWays * s.cfg.Interference.LLCMB
+		}
+		demands[i] = interference.Demand{
+			BandwidthGBs:     offered * inst.Profile.BWPerWork,
+			CacheMB:          inst.Profile.CacheMB,
+			ReservedMB:       reservedMB,
+			BWSensitivity:    inst.Profile.BWSensitivity,
+			CacheSensitivity: inst.Profile.CacheSensitivity,
+		}
+	}
+	// The batch workload occupies every online managed core with no LC
+	// owner and adds its own pressure on the shared resources.
+	var batchCores []int
+	var batchCap float64
+	if s.cfg.Batch != nil {
+		for _, id := range s.ManagedCores() {
+			c := s.plat.Core(id)
+			if c.Online && len(c.Owners) == 0 {
+				batchCores = append(batchCores, id)
+				batchCap += c.FreqGHz
+			}
+		}
+		demands = append(demands, interference.Demand{
+			BandwidthGBs:     batchCap * s.cfg.Batch.BWPerWork,
+			CacheMB:          s.cfg.Batch.CacheMB,
+			BWSensitivity:    s.cfg.Batch.Sensitivity,
+			CacheSensitivity: s.cfg.Batch.Sensitivity,
+		})
+	}
+	contention := s.interf.Compute(demands)
+
+	// Run the queueing models and gather per-core utilisation.
+	util := make(map[int]float64)
+	res := StepResult{Time: s.clock, Services: make([]ServiceStats, len(s.insts))}
+	for i, inst := range s.insts {
+		ist := inst.RunInterval(loads[i], states[i].cap, contention[i].Inflation, 1)
+		busyFrac := ist.BusySeconds // dt = 1 s
+		var busyCoreSeconds float64
+		for j, c := range states[i].cores {
+			share := states[i].shares[j]
+			util[c] += share * busyFrac
+			busyCoreSeconds += share * busyFrac
+		}
+		gt := pmc.GroundTruth{
+			BusyCoreSeconds: busyCoreSeconds,
+			AvgFreqGHz:      states[i].avgFreq,
+			WorkDone:        ist.WorkDone / ist.InflationApplied,
+			Inflation:       ist.InflationApplied,
+			LLCMissFactor:   contention[i].LLCMissFactor,
+		}
+		sample := s.synth.Synthesize(gt, ratesOf(inst.Profile))
+		res.Services[i] = ServiceStats{
+			IntervalStats: ist,
+			PMCs:          sample,
+			NormPMCs:      pmc.Normalize(sample, s.maxima),
+			QoSTargetMs:   s.specs[i].QoSTargetMs,
+			NumCores:      len(states[i].cores),
+			FreqGHz:       states[i].avgFreq,
+			OfferedRPS:    loads[i],
+		}
+	}
+
+	// Batch progress: throughput degrades with its contention inflation.
+	if s.cfg.Batch != nil && batchCap > 0 {
+		infl := contention[len(contention)-1].Inflation
+		res.Batch = batch.Stats{Cores: len(batchCores), WorkDone: batchCap / infl}
+		s.batchWorkJ += res.Batch.WorkDone
+		for _, id := range batchCores {
+			util[id] = 1 // best effort keeps its cores fully busy
+		}
+	}
+
+	// Socket power from per-core states.
+	var coreStates []power.CoreState
+	for _, id := range s.ManagedCores() {
+		c := s.plat.Core(id)
+		coreStates = append(coreStates, power.CoreState{
+			Online:      c.Online,
+			FreqGHz:     c.FreqGHz,
+			Utilization: util[id],
+			Owned:       len(c.Owners) > 0 || util[id] > 0,
+		})
+	}
+	res.TruePowerW = s.pow.SocketPower(coreStates)
+	res.PowerW = s.pow.ReadRAPL(coreStates)
+	res.EnergyJ = res.TruePowerW
+	s.energyJ += res.EnergyJ
+	s.clock++
+	return res
+}
+
+func (s *Server) applyAssignment(asg Assignment) {
+	s.plat.ClearAffinity()
+	// Cores requested by several services (time-shared after resource
+	// arbitration) run at the highest requested DVFS state.
+	owned := make(map[int]float64)
+	for svc, alloc := range asg.PerService {
+		for _, c := range alloc.Cores {
+			if err := s.plat.Assign(svc, c); err != nil {
+				panic(err)
+			}
+			if alloc.FreqGHz > owned[c] {
+				owned[c] = alloc.FreqGHz
+			}
+		}
+	}
+	for c, f := range owned {
+		s.plat.SetFreq(c, f)
+	}
+	if asg.IdleFreqGHz > 0 {
+		for _, id := range s.ManagedCores() {
+			if _, ok := owned[id]; !ok && s.plat.Core(id).Online {
+				s.plat.SetFreq(id, asg.IdleFreqGHz)
+			}
+		}
+	}
+}
+
+func ratesOf(p service.Profile) pmc.Rates {
+	return pmc.Rates{
+		IPCBase:        p.IPCBase,
+		BranchRatio:    p.BranchRatio,
+		BranchMissRate: p.BranchMissRate,
+		MemAccessRate:  p.MemAccessRate,
+		L1DRate:        p.L1DRate,
+		L1IRate:        p.L1IRate,
+		UopFactor:      p.UopFactor,
+	}
+}
+
+// CalibrateQoSTarget measures the p99 latency of a service running solo
+// at its maximum load with a full socket at the highest DVFS setting —
+// the paper's methodology for fixing Table II's targets. It returns the
+// p99 across the final two thirds of the run (the warm-up is skipped).
+func CalibrateQoSTarget(p service.Profile, cfg Config, seconds int, seed int64) float64 {
+	srv := NewServer(cfg, []ServiceSpec{{Profile: p, Seed: seed}})
+	cores := srv.ManagedCores()
+	asg := Assignment{PerService: []Allocation{{Cores: cores, FreqGHz: platform.MaxFreqGHz}}}
+	var lat []float64
+	for t := 0; t < seconds; t++ {
+		r := srv.Step(asg, []float64{p.MaxLoadRPS})
+		if t >= seconds/3 {
+			lat = append(lat, r.Services[0].P99Ms)
+		}
+	}
+	// Use the median of the per-interval p99s as a stable target.
+	return medianOf(lat)
+}
+
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	if len(cp)%2 == 1 {
+		return cp[len(cp)/2]
+	}
+	return (cp[len(cp)/2-1] + cp[len(cp)/2]) / 2
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// PCA holds the result of a principal component analysis: eigenvalues in
+// descending order with their eigenvectors (components) as rows.
+type PCA struct {
+	Eigenvalues []float64
+	Components  [][]float64 // Components[i] is the i-th principal axis
+}
+
+// PCAFromColumns performs PCA on the column series via the covariance
+// matrix and a Jacobi eigenvalue decomposition.
+func PCAFromColumns(cols [][]float64) *PCA {
+	return PCAFromCovariance(CovarianceMatrix(cols))
+}
+
+// PCAFromCovariance performs PCA directly on a symmetric covariance (or
+// correlation) matrix.
+func PCAFromCovariance(cov [][]float64) *PCA {
+	vals, vecs := jacobiEigen(cov)
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	p := &PCA{
+		Eigenvalues: make([]float64, len(vals)),
+		Components:  make([][]float64, len(vals)),
+	}
+	for rank, i := range idx {
+		p.Eigenvalues[rank] = vals[i]
+		comp := make([]float64, len(vecs))
+		for r := range vecs {
+			comp[r] = vecs[r][i] // column i of the eigenvector matrix
+		}
+		p.Components[rank] = comp
+	}
+	return p
+}
+
+// ComponentsForCoverage returns the smallest k such that the first k
+// eigenvalues explain at least the given fraction of total variance
+// (the paper uses 0.95).
+func (p *PCA) ComponentsForCoverage(frac float64) int {
+	var total float64
+	for _, v := range p.Eigenvalues {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var cum float64
+	for k, v := range p.Eigenvalues {
+		if v > 0 {
+			cum += v
+		}
+		if cum/total >= frac {
+			return k + 1
+		}
+	}
+	return len(p.Eigenvalues)
+}
+
+// FeatureImportance ranks original features by their weighted loading
+// magnitude over the first k components (weights = eigenvalues). Larger
+// is more important. This is the scoring behind Table I's "Importance"
+// column (after the Malik et al. methodology).
+func (p *PCA) FeatureImportance(k int) []float64 {
+	if k > len(p.Components) {
+		k = len(p.Components)
+	}
+	n := 0
+	if len(p.Components) > 0 {
+		n = len(p.Components[0])
+	}
+	imp := make([]float64, n)
+	for c := 0; c < k; c++ {
+		w := p.Eigenvalues[c]
+		if w < 0 {
+			w = 0
+		}
+		for f, loading := range p.Components[c] {
+			imp[f] += w * math.Abs(loading)
+		}
+	}
+	return imp
+}
+
+// jacobiEigen computes eigenvalues and eigenvectors of a symmetric
+// matrix using the classical cyclic Jacobi rotation method. vecs[r][c]
+// is component r of the eigenvector for eigenvalue vals[c].
+func jacobiEigen(sym [][]float64) (vals []float64, vecs [][]float64) {
+	n := len(sym)
+	a := make([][]float64, n)
+	v := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = append([]float64(nil), sym[i]...)
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-20 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(a[p][q]) < 1e-30 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := a[k][p], a[k][q]
+					a[k][p] = c*akp - s*akq
+					a[k][q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a[p][k], a[q][k]
+					a[p][k] = c*apk - s*aqk
+					a[q][k] = s*apk + c*aqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = a[i][i]
+	}
+	return vals, v
+}

@@ -1,0 +1,53 @@
+package twig
+
+import "github.com/twig-sched/twig/internal/baselines"
+
+// Baseline task managers the paper evaluates Twig against (Sec. V-A).
+type (
+	// Static pins every core at the highest DVFS setting.
+	Static = baselines.Static
+	// Hipster is the hybrid heuristic + tabular-Q manager (HPCA'17).
+	Hipster = baselines.Hipster
+	// HipsterConfig carries Hipster's published parameters.
+	HipsterConfig = baselines.HipsterConfig
+	// Heracles is the multi-level feedback controller (ISCA'15).
+	Heracles = baselines.Heracles
+	// HeraclesConfig carries Heracles' controller thresholds.
+	HeraclesConfig = baselines.HeraclesConfig
+	// Parties is the one-resource-at-a-time controller (ASPLOS'19).
+	Parties = baselines.Parties
+	// PartiesConfig carries PARTIES' controller parameters.
+	PartiesConfig = baselines.PartiesConfig
+)
+
+// NewStatic creates the static mapping over the managed cores.
+func NewStatic(managedCores []int, services int) *Static {
+	return baselines.NewStatic(managedCores, services)
+}
+
+// NewHipster creates a Hipster controller (single service).
+func NewHipster(cfg HipsterConfig, managedCores []int) *Hipster {
+	return baselines.NewHipster(cfg, managedCores)
+}
+
+// DefaultHipsterConfig returns Sec. V-A's Hipster settings.
+func DefaultHipsterConfig() HipsterConfig { return baselines.DefaultHipsterConfig() }
+
+// NewHeracles creates a Heracles controller (single service).
+func NewHeracles(cfg HeraclesConfig, managedCores []int) *Heracles {
+	return baselines.NewHeracles(cfg, managedCores)
+}
+
+// DefaultHeraclesConfig returns Sec. V-A's Heracles thresholds for the
+// given socket TDP.
+func DefaultHeraclesConfig(tdpW float64) HeraclesConfig {
+	return baselines.DefaultHeraclesConfig(tdpW)
+}
+
+// NewParties creates a PARTIES controller for k colocated services.
+func NewParties(cfg PartiesConfig, managedCores []int, k int) *Parties {
+	return baselines.NewParties(cfg, managedCores, k)
+}
+
+// DefaultPartiesConfig returns Sec. V-A's PARTIES parameters.
+func DefaultPartiesConfig() PartiesConfig { return baselines.DefaultPartiesConfig() }

@@ -1,0 +1,31 @@
+package twig_test
+
+import (
+	"fmt"
+
+	"github.com/twig-sched/twig/twig"
+)
+
+// Example shows the complete Twig control loop on the simulated server:
+// calibrate a QoS target, build a manager, and run observe→decide→act
+// once per monitoring interval.
+func Example() {
+	prof, _ := twig.LookupProfile("masstree")
+	cfg := twig.DefaultServerConfig()
+	target := twig.CalibrateQoSTarget(prof, cfg, 30, 1)
+
+	srv := twig.NewServer(cfg, []twig.ServiceSpec{{Profile: prof, QoSTargetMs: target, Seed: 1}})
+	svc := twig.ServiceConfig{Name: prof.Name, QoSTargetMs: target, MaxLoadRPS: prof.MaxLoadRPS}
+	mgr := twig.NewManager(
+		twig.QuickConfig([]twig.ServiceConfig{svc}, len(srv.ManagedCores()), srv.MaxPowerW()),
+		srv.ManagedCores())
+
+	obs := twig.InitialObservation(srv)
+	for t := 0; t < 25; t++ {
+		asg := mgr.Decide(obs)
+		res := srv.Step(asg, []float64{0.3 * prof.MaxLoadRPS})
+		obs = twig.ObservationFrom(srv, res)
+	}
+	fmt.Println(srv.Clock(), "intervals managed by", mgr.Name())
+	// Output: 25 intervals managed by twig-s
+}
