@@ -295,6 +295,6 @@ func BenchmarkSimulatorStep(b *testing.B) {
 	loads := []float64{0.3 * service.MustLookup("masstree").MaxLoadRPS, 0.3 * service.MustLookup("moses").MaxLoadRPS}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		srv.Step(asg, loads)
+		srv.MustStep(asg, loads)
 	}
 }

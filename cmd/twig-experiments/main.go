@@ -7,7 +7,7 @@
 //	twig-experiments -experiment all
 //
 // Experiment ids: fig1, table1, fig4, table2, table3, fig5, fig6, fig7,
-// figmem, fig8, fig9, fig10, fig11, fig12, fig13, ablations.
+// figmem, fig8, fig9, fig10, fig11, fig12, fig13, figfault, ablations.
 package main
 
 import (
@@ -71,6 +71,7 @@ func main() {
 		"fig10":           func() { fmt.Println(experiments.Fig10(sc, *seed)) },
 		"fig11":           func() { fmt.Println(experiments.Fig11(sc, *seed)) },
 		"fig12":           func() { fmt.Println(experiments.Fig12(sc, *seed)) },
+		"figfault":        func() { fmt.Println(experiments.FigFault(sc, *seed)) },
 		"fig13":           func() { fmt.Println(experiments.Fig13(experiments.ServicePairs(), sc, *seed)) },
 		"extension-cat":   func() { fmt.Println(experiments.ExtensionCAT(sc, *seed)) },
 		"extension-batch": func() { fmt.Println(experiments.BatchColoc(sc, *seed)) },
@@ -86,7 +87,7 @@ func main() {
 	order := []string{
 		"fig1", "table1", "fig4", "table2", "table3", "fig5", "fig6", "fig7",
 		"figmem", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-		"extension-cat", "extension-batch", "ablations",
+		"figfault", "extension-cat", "extension-batch", "ablations",
 	}
 	if *exp == "all" {
 		for _, id := range order {

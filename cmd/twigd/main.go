@@ -8,33 +8,47 @@
 //	twigd -services masstree,moses -loads 0.3,0.3 -seconds 2000
 //	twigd -services img-dnn -pattern diurnal -seconds 4000
 //	twigd -services masstree -trace load.csv -csv run.csv -http :8080
+//	twigd -services masstree,moses -faults hostile -guard
 //
 // With -http, GET /status returns a JSON snapshot of the run (time,
-// power, per-service allocation and tail latency) while it executes.
+// power, per-service allocation and tail latency, and — under -faults
+// and -guard — the active fault events and guard health) while it
+// executes. -faults arms a named deterministic fault scenario and
+// -guard wraps the manager in the resilient harness.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"github.com/twig-sched/twig/internal/ctrl"
 	"github.com/twig-sched/twig/internal/experiments"
 	"github.com/twig-sched/twig/internal/report"
 	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/faults"
 	"github.com/twig-sched/twig/internal/sim/loadgen"
 	"github.com/twig-sched/twig/internal/sim/service"
 )
 
-// status is the JSON snapshot served at /status.
+// status is the JSON snapshot served at /status. Non-finite measurements
+// (a crashed service's latency, a failed RAPL read) are reported as -1
+// so the snapshot always encodes as valid JSON.
 type status struct {
 	Time     int             `json:"time"`
 	PowerW   float64         `json:"power_w"`
 	Services []serviceStatus `json:"services"`
+	// Faults lists the fault events active this interval (with -faults).
+	Faults []string `json:"faults,omitempty"`
+	// Guard carries the wrapper's intervention counters (with -guard).
+	Guard *ctrl.GuardHealth `json:"guard,omitempty"`
 }
 
 type serviceStatus struct {
@@ -60,6 +74,8 @@ func main() {
 		seed         = flag.Int64("seed", 1, "random seed")
 		scale        = flag.String("scale", "quick", "learning profile: quick or paper")
 		logEvery     = flag.Int("log-every", 100, "print a status line every N simulated seconds")
+		faultsFlag   = flag.String("faults", "none", "fault scenario: "+strings.Join(faults.Names(), ", "))
+		guardFlag    = flag.Bool("guard", false, "wrap the manager in the resilient guard")
 	)
 	flag.Parse()
 
@@ -79,8 +95,24 @@ func main() {
 		sc = experiments.PaperScale()
 	}
 
-	srv := experiments.NewServer(*seed, names...)
+	scenario, err := faults.Named(*faultsFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+	var srv *sim.Server
+	if scenario.IsZero() {
+		srv = experiments.NewServer(*seed, names...)
+	} else {
+		srv = experiments.NewFaultyServer(*seed, &scenario, names...)
+		fmt.Printf("twigd: fault scenario %q armed\n", scenario.Name)
+	}
 	mgr := experiments.NewTwig(srv, sc, *seed, names...)
+	var controller ctrl.Controller = mgr
+	var guard *ctrl.Guard
+	if *guardFlag {
+		guard = ctrl.NewGuard(mgr, ctrl.DefaultGuardConfig(srv.ManagedCores()))
+		controller = guard
+	}
 	if *loadFlag != "" {
 		f, err := os.Open(*loadFlag)
 		if err != nil {
@@ -124,18 +156,14 @@ func main() {
 		patterns[0] = tr
 	}
 
-	// Optional live status endpoint.
+	// Optional live status endpoint on a dedicated mux and server with
+	// timeouts, so a slow or hostile client cannot pin the daemon.
 	var mu sync.Mutex
 	var snap status
 	if *httpFlag != "" {
-		http.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
-			mu.Lock()
-			defer mu.Unlock()
-			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(snap)
-		})
+		server := newStatusServer(*httpFlag, &mu, &snap)
 		go func() {
-			if err := http.ListenAndServe(*httpFlag, nil); err != nil {
+			if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "twigd: http server: %v\n", err)
 			}
 		}()
@@ -150,13 +178,13 @@ func main() {
 		names, len(srv.ManagedCores()), sc.Name, sc.Epsilon.Start, sc.Epsilon.End)
 	sum := experiments.Run(experiments.RunConfig{
 		Server:       srv,
-		Controller:   mgr,
+		Controller:   controller,
 		Patterns:     patterns,
 		Seconds:      *seconds,
 		SummaryFromS: maxInt(*seconds-sc.SummaryS, *seconds/2),
 		Hook: func(t int, r sim.StepResult, asg sim.Assignment) {
 			mu.Lock()
-			snap = snapshot(names, t, r)
+			snap = snapshot(names, t, r, guard)
 			mu.Unlock()
 			coresTrace = append(coresTrace, float64(r.Services[0].NumCores))
 			if *csvFlag != "" {
@@ -214,19 +242,60 @@ func main() {
 	}
 }
 
-func snapshot(names []string, t int, r sim.StepResult) status {
-	s := status{Time: t, PowerW: r.TruePowerW}
+// newStatusServer builds the hardened HTTP server for /status.
+func newStatusServer(addr string, mu *sync.Mutex, snap *status) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", statusHandler(mu, snap))
+	return &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadTimeout:       5 * time.Second,
+		ReadHeaderTimeout: 2 * time.Second,
+		WriteTimeout:      5 * time.Second,
+		IdleTimeout:       30 * time.Second,
+	}
+}
+
+// statusHandler serves the mutex-guarded snapshot as JSON.
+func statusHandler(mu *sync.Mutex, snap *status) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		s := *snap
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s)
+	}
+}
+
+func snapshot(names []string, t int, r sim.StepResult, guard *ctrl.Guard) status {
+	s := status{Time: t, PowerW: jsonSafe(r.TruePowerW)}
 	for i, sv := range r.Services {
 		s.Services = append(s.Services, serviceStatus{
 			Name:        names[i],
 			Cores:       sv.NumCores,
 			FreqGHz:     sv.FreqGHz,
-			P99Ms:       sv.P99Ms,
+			P99Ms:       jsonSafe(sv.P99Ms),
 			QoSTargetMs: sv.QoSTargetMs,
 			OfferedRPS:  sv.OfferedRPS,
 		})
 	}
+	for _, e := range r.Faults {
+		s.Faults = append(s.Faults, e.String())
+	}
+	if guard != nil {
+		h := guard.Health()
+		s.Guard = &h
+	}
 	return s
+}
+
+// jsonSafe maps non-finite measurements to -1: encoding/json rejects
+// NaN and Inf, and a dropped sensor must not take /status down with it.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return -1
+	}
+	return v
 }
 
 func csvHeader(names []string) []string {

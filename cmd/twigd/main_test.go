@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/ctrl"
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/faults"
+	"github.com/twig-sched/twig/internal/sim/service"
+)
+
+func sampleResult(p99 float64) sim.StepResult {
+	return sim.StepResult{
+		Time:       3,
+		TruePowerW: 55,
+		Services: []sim.ServiceStats{
+			{
+				IntervalStats: service.IntervalStats{P99Ms: p99},
+				NumCores:      4, FreqGHz: 1.8, QoSTargetMs: 5, OfferedRPS: 400,
+			},
+		},
+		Faults: []faults.Event{{Kind: faults.RAPLFail, Service: -1, Start: 3, Duration: 1}},
+	}
+}
+
+func TestSnapshotEncodesNaNSafely(t *testing.T) {
+	s := snapshot([]string{"masstree"}, 3, sampleResult(math.NaN()), nil)
+	if s.Services[0].P99Ms != -1 {
+		t.Fatalf("NaN p99 mapped to %v, want -1", s.Services[0].P99Ms)
+	}
+	if len(s.Faults) != 1 {
+		t.Fatalf("faults = %v", s.Faults)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+}
+
+func TestSnapshotIncludesGuardHealth(t *testing.T) {
+	inner := ctrl.NewGuard(staticLike{}, ctrl.DefaultGuardConfig([]int{18, 19}))
+	inner.Decide(ctrl.Observation{Services: []ctrl.ServiceObs{{P99Ms: math.NaN(), QoSTargetMs: 5}}})
+	s := snapshot([]string{"masstree"}, 0, sampleResult(2), inner)
+	if s.Guard == nil || s.Guard.ObsRepaired == 0 {
+		t.Fatalf("guard health missing from snapshot: %+v", s.Guard)
+	}
+}
+
+type staticLike struct{}
+
+func (staticLike) Name() string { return "s" }
+func (staticLike) Decide(o ctrl.Observation) sim.Assignment {
+	return sim.Assignment{PerService: []sim.Allocation{{Cores: []int{18}, FreqGHz: 2}}}
+}
+
+// The handler must be safe against concurrent snapshot updates — this is
+// the path `go test -race` exercises.
+func TestStatusHandlerConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	snap := snapshot([]string{"masstree"}, 0, sampleResult(2), nil)
+	h := statusHandler(&mu, &snap)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			snap = snapshot([]string{"masstree"}, i, sampleResult(float64(i)), nil)
+			mu.Unlock()
+		}
+	}()
+
+	for i := 0; i < 200; i++ {
+		rec := httptest.NewRecorder()
+		h(rec, httptest.NewRequest("GET", "/status", nil))
+		if rec.Code != 200 {
+			t.Fatalf("status %d", rec.Code)
+		}
+		var got status
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestStatusServerConfigured(t *testing.T) {
+	var mu sync.Mutex
+	var snap status
+	srv := newStatusServer(":0", &mu, &snap)
+	if srv.ReadTimeout <= 0 || srv.WriteTimeout <= 0 || srv.ReadHeaderTimeout <= 0 {
+		t.Fatalf("missing timeouts: %+v", srv)
+	}
+	if srv.Handler == nil {
+		t.Fatal("no dedicated mux")
+	}
+}

@@ -51,7 +51,7 @@ func drive(srv *twig.Server, c twig.Controller, loads []float64) (qos [2]float64
 	n := 0
 	for t := 0; t < seconds; t++ {
 		asg := c.Decide(obs)
-		res := srv.Step(asg, loads)
+		res := srv.MustStep(asg, loads)
 		obs = twig.ObservationFrom(srv, res)
 		if t < seconds-300 {
 			continue

@@ -35,7 +35,7 @@ func main() {
 	var energy float64
 	for t := 0; t < seconds; t++ {
 		asg := mgr.Decide(obs)
-		res := srv.Step(asg, []float64{day.RPS(t)})
+		res := srv.MustStep(asg, []float64{day.RPS(t)})
 		obs = twig.ObservationFrom(srv, res)
 		sv := res.Services[0]
 		if t >= seconds/2 {

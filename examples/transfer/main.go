@@ -66,7 +66,7 @@ func run(srv *twig.Server, mgr *twig.Manager, loadRPS float64, seconds int, prog
 	met, total := 0, 0
 	for t := 0; t < seconds; t++ {
 		asg := mgr.Decide(obs)
-		res := srv.Step(asg, []float64{loadRPS})
+		res := srv.MustStep(asg, []float64{loadRPS})
 		obs = twig.ObservationFrom(srv, res)
 		total++
 		if res.Services[0].P99Ms <= res.Services[0].QoSTargetMs {

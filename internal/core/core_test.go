@@ -69,6 +69,70 @@ func TestMonitorMultiService(t *testing.T) {
 	}
 }
 
+func TestMonitorRepairsCorruptSamples(t *testing.T) {
+	m := NewMonitor(1, 3)
+	mk := func(v float64) pmc.Sample {
+		var s pmc.Sample
+		for i := range s {
+			s[i] = v
+		}
+		return s
+	}
+
+	m.Observe([]pmc.Sample{mk(0.5)})
+
+	// A fully corrupt sample must be replaced by the last good one, so
+	// the smoothed state stays exactly where it was.
+	bad := mk(math.NaN())
+	bad[1] = math.Inf(1)
+	bad[2] = -4
+	state := m.Observe([]pmc.Sample{bad})
+	for c, v := range state {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("counter %d: corrupt value leaked into state: %v", c, v)
+		}
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Fatalf("counter %d: repaired state = %v, want 0.5", c, v)
+		}
+	}
+
+	// A spike above the normalised ceiling is clamped, not replaced.
+	state = m.Observe([]pmc.Sample{mk(40)})
+	for c, v := range state {
+		if v > 1 {
+			t.Fatalf("counter %d: spike not clamped: %v", c, v)
+		}
+	}
+}
+
+func TestMonitorCorruptBeforeAnyGoodSample(t *testing.T) {
+	// With no history at all, corrupt counters fall back to zero rather
+	// than propagating NaN into the BDQ input.
+	m := NewMonitor(1, 3)
+	var s pmc.Sample
+	for i := range s {
+		s[i] = math.NaN()
+	}
+	for c, v := range m.Observe([]pmc.Sample{s}) {
+		if v != 0 {
+			t.Fatalf("counter %d: %v, want 0", c, v)
+		}
+	}
+}
+
+func TestMonitorResetClearsLastGood(t *testing.T) {
+	m := NewMonitor(1, 3)
+	var good pmc.Sample
+	good[0] = 0.9
+	m.Observe([]pmc.Sample{good})
+	m.Reset()
+	var bad pmc.Sample
+	bad[0] = math.NaN()
+	if st := m.Observe([]pmc.Sample{bad}); st[0] != 0 {
+		t.Fatalf("stale last-good survived Reset: %v", st[0])
+	}
+}
+
 func TestMonitorValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

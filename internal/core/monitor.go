@@ -8,6 +8,8 @@
 package core
 
 import (
+	"math"
+
 	"github.com/twig-sched/twig/internal/sim/pmc"
 )
 
@@ -16,8 +18,9 @@ import (
 // sample heaviest), as described in Sec. III-B1. The paper found η = 5
 // to work best.
 type Monitor struct {
-	eta     int
-	history [][]pmc.Sample // per service, most recent last
+	eta      int
+	history  [][]pmc.Sample // per service, most recent last
+	lastGood []pmc.Sample   // last finite value per service and counter
 }
 
 // NewMonitor creates a monitor for k services with window η.
@@ -25,17 +28,34 @@ func NewMonitor(k, eta int) *Monitor {
 	if k <= 0 || eta <= 0 {
 		panic("core: invalid monitor parameters")
 	}
-	return &Monitor{eta: eta, history: make([][]pmc.Sample, k)}
+	return &Monitor{
+		eta:      eta,
+		history:  make([][]pmc.Sample, k),
+		lastGood: make([]pmc.Sample, k),
+	}
 }
 
 // Observe records the latest normalised samples (one per service) and
 // returns the concatenated smoothed state vector of length
-// k × NumCounters, each entry in [0, 1].
+// k × NumCounters, each entry in [0, 1]. A corrupt counter reading —
+// NaN, infinite or negative, as a perfmon dropout or an injected fault
+// produces — is replaced by that counter's last good value so one bad
+// sample cannot poison η intervals of smoothed state.
 func (m *Monitor) Observe(samples []pmc.Sample) []float64 {
 	if len(samples) != len(m.history) {
 		panic("core: sample count mismatch")
 	}
 	for k, s := range samples {
+		for c, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				s[c] = m.lastGood[k][c]
+				continue
+			}
+			if v > 1 {
+				s[c] = 1
+			}
+			m.lastGood[k][c] = s[c]
+		}
 		m.history[k] = append(m.history[k], s)
 		if len(m.history[k]) > m.eta {
 			m.history[k] = m.history[k][1:]
@@ -72,6 +92,7 @@ func (m *Monitor) State() []float64 {
 func (m *Monitor) Reset() {
 	for k := range m.history {
 		m.history[k] = nil
+		m.lastGood[k] = pmc.Sample{}
 	}
 }
 

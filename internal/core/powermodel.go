@@ -120,7 +120,7 @@ func ProfilePower(spec sim.ServiceSpec, cfg sim.Config, secondsPerPoint int, see
 				var pw, rps float64
 				n := 0
 				for t := 0; t < secondsPerPoint; t++ {
-					r := srv.Step(asg, []float64{lf * spec.Profile.MaxLoadRPS})
+					r := srv.MustStep(asg, []float64{lf * spec.Profile.MaxLoadRPS})
 					if t >= secondsPerPoint/3 {
 						pw += r.PowerW
 						rps += float64(r.Services[0].Completed)

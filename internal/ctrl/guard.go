@@ -1,0 +1,354 @@
+package ctrl
+
+import (
+	"math"
+
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/platform"
+)
+
+// GuardConfig tunes the resilient wrapper around a controller.
+type GuardConfig struct {
+	// ManagedCores is the set of core IDs any decision may use; cores
+	// outside it are stripped from the inner controller's assignments.
+	ManagedCores []int
+	// MaxStaleS bounds how many consecutive intervals a missing latency
+	// sample may be bridged with the last good one before the guard
+	// switches to a pessimistic estimate.
+	MaxStaleS int
+	// PessimismFactor scales the QoS target to synthesise a latency once
+	// staleness exceeds MaxStaleS: the service is assumed to be violating
+	// so that downstream logic (the inner controller, the breaker) reacts.
+	PessimismFactor float64
+	// BreakerK is the number of consecutive QoS violations after which
+	// the circuit breaker escalates a service to maximum resources.
+	BreakerK int
+	// BreakerResetR is the number of consecutive met intervals required
+	// before a tripped breaker hands control back to the inner controller.
+	BreakerResetR int
+}
+
+// DefaultGuardConfig returns the recommended guard settings for the
+// given managed core set.
+func DefaultGuardConfig(managed []int) GuardConfig {
+	return GuardConfig{
+		ManagedCores:    append([]int(nil), managed...),
+		MaxStaleS:       5,
+		PessimismFactor: 1.25,
+		BreakerK:        3,
+		BreakerResetR:   2,
+	}
+}
+
+// GuardHealth counts every intervention the guard made. All counters are
+// cumulative over the guard's lifetime.
+type GuardHealth struct {
+	// ObsRepaired counts observation fields (latency, PMCs, power)
+	// replaced because they were missing or non-finite.
+	ObsRepaired int
+	// StaleExceeded counts intervals where a latency gap outlived
+	// MaxStaleS and the pessimistic estimate was substituted.
+	StaleExceeded int
+	// PanicsRecovered counts inner-controller panics converted into the
+	// safe fallback assignment.
+	PanicsRecovered int
+	// ActionsClamped counts decisions repaired in place (cores filtered,
+	// frequencies clamped, empty allocations filled).
+	ActionsClamped int
+	// FallbackIntervals counts intervals decided entirely by the safe
+	// fallback rather than the inner controller.
+	FallbackIntervals int
+	// BreakerTrips counts violation→escalation transitions;
+	// BreakerIntervals counts intervals spent escalated.
+	BreakerTrips     int
+	BreakerIntervals int
+}
+
+// Guard wraps any Controller with the degraded-mode defenses of Sec.
+// "Fault model" in DESIGN.md: observation sanitising, panic containment,
+// action validation and a per-service QoS circuit breaker. A Guard is
+// itself a Controller, so it drops into every existing harness.
+type Guard struct {
+	inner  Controller
+	cfg    GuardConfig
+	health GuardHealth
+
+	// Per-service repair state, sized lazily from the first observation.
+	lastGood []ServiceObs
+	haveGood []bool
+	staleFor []int
+	// Breaker state.
+	violStreak []int
+	metStreak  []int
+	tripped    []bool
+
+	lastPowerW float64
+	havePower  bool
+}
+
+// NewGuard wraps inner. The config's ManagedCores must be non-empty;
+// zero-valued tuning fields fall back to the defaults.
+func NewGuard(inner Controller, cfg GuardConfig) *Guard {
+	if len(cfg.ManagedCores) == 0 {
+		panic("ctrl: guard needs a managed core set")
+	}
+	def := DefaultGuardConfig(cfg.ManagedCores)
+	if cfg.MaxStaleS <= 0 {
+		cfg.MaxStaleS = def.MaxStaleS
+	}
+	if cfg.PessimismFactor <= 1 {
+		cfg.PessimismFactor = def.PessimismFactor
+	}
+	if cfg.BreakerK <= 0 {
+		cfg.BreakerK = def.BreakerK
+	}
+	if cfg.BreakerResetR <= 0 {
+		cfg.BreakerResetR = def.BreakerResetR
+	}
+	return &Guard{inner: inner, cfg: cfg}
+}
+
+// Name labels runs with the wrapped controller's name.
+func (g *Guard) Name() string { return g.inner.Name() + "+guard" }
+
+// Health returns the cumulative intervention counters.
+func (g *Guard) Health() GuardHealth { return g.health }
+
+// Decide sanitises the observation, runs the inner controller inside a
+// panic boundary, validates its decision and applies the circuit
+// breaker. The returned assignment always passes sim.Server.Validate.
+func (g *Guard) Decide(obs Observation) sim.Assignment {
+	g.init(len(obs.Services))
+	clean := g.sanitize(obs)
+
+	asg, panicked := g.tryInner(clean)
+	if panicked {
+		g.health.PanicsRecovered++
+		g.health.FallbackIntervals++
+		asg = g.safeAssignment(len(obs.Services))
+	} else {
+		asg = g.validate(asg, len(obs.Services))
+	}
+
+	g.breaker(clean, &asg)
+	return asg
+}
+
+func (g *Guard) init(k int) {
+	if len(g.lastGood) == k {
+		return
+	}
+	g.lastGood = make([]ServiceObs, k)
+	g.haveGood = make([]bool, k)
+	g.staleFor = make([]int, k)
+	g.violStreak = make([]int, k)
+	g.metStreak = make([]int, k)
+	g.tripped = make([]bool, k)
+}
+
+// sanitize repairs missing or corrupt sensor readings so the inner
+// controller always sees finite, plausible numbers.
+func (g *Guard) sanitize(obs Observation) Observation {
+	out := obs
+	out.Services = append([]ServiceObs(nil), obs.Services...)
+
+	if !isFinite(out.PowerW) || out.PowerW < 0 {
+		g.health.ObsRepaired++
+		if g.havePower {
+			out.PowerW = g.lastPowerW
+		} else {
+			out.PowerW = 0
+		}
+	} else {
+		g.lastPowerW = out.PowerW
+		g.havePower = true
+	}
+
+	for i := range out.Services {
+		s := &out.Services[i]
+
+		// Latency: bridge short gaps with the last good sample, then
+		// turn pessimistic so a long-dark service looks like a violator.
+		if !isFinite(s.P99Ms) || s.P99Ms < 0 {
+			g.health.ObsRepaired++
+			g.staleFor[i]++
+			if g.haveGood[i] && g.staleFor[i] <= g.cfg.MaxStaleS {
+				s.P99Ms = g.lastGood[i].P99Ms
+			} else {
+				g.health.StaleExceeded++
+				s.P99Ms = g.cfg.PessimismFactor * s.QoSTargetMs
+			}
+		} else {
+			g.staleFor[i] = 0
+		}
+
+		// Throughput: never negative or non-finite.
+		if !isFinite(s.MeasuredRPS) || s.MeasuredRPS < 0 {
+			g.health.ObsRepaired++
+			if g.haveGood[i] {
+				s.MeasuredRPS = g.lastGood[i].MeasuredRPS
+			} else {
+				s.MeasuredRPS = 0
+			}
+		}
+
+		// PMC features: per-counter replacement with the last good value,
+		// then clamp into the normalised [0,1] envelope.
+		for c := range s.NormPMCs {
+			v := s.NormPMCs[c]
+			if !isFinite(v) || v < 0 {
+				g.health.ObsRepaired++
+				if g.haveGood[i] {
+					v = g.lastGood[i].NormPMCs[c]
+				} else {
+					v = 0
+				}
+			}
+			if v > 1 {
+				v = 1
+			}
+			s.NormPMCs[c] = v
+		}
+
+		if g.staleFor[i] == 0 {
+			g.lastGood[i] = *s
+			g.haveGood[i] = true
+		}
+	}
+	return out
+}
+
+// tryInner runs the wrapped controller's Decide behind a recover.
+func (g *Guard) tryInner(obs Observation) (asg sim.Assignment, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	return g.inner.Decide(obs), false
+}
+
+// validate repairs a decision in place: wrong shape falls back entirely;
+// otherwise cores are filtered to the managed set, empty allocations are
+// widened to every managed core, and frequencies and cache ways are
+// clamped into hardware range.
+func (g *Guard) validate(asg sim.Assignment, k int) sim.Assignment {
+	if len(asg.PerService) != k {
+		g.health.ActionsClamped++
+		g.health.FallbackIntervals++
+		return g.safeAssignment(k)
+	}
+
+	managed := make(map[int]bool, len(g.cfg.ManagedCores))
+	for _, c := range g.cfg.ManagedCores {
+		managed[c] = true
+	}
+
+	out := sim.Assignment{
+		PerService:  make([]sim.Allocation, k),
+		IdleFreqGHz: asg.IdleFreqGHz,
+	}
+	clamped := false
+	if out.IdleFreqGHz != 0 {
+		fixed := clampFreq(out.IdleFreqGHz)
+		if fixed != out.IdleFreqGHz {
+			clamped = true
+			out.IdleFreqGHz = fixed
+		}
+	}
+	for i, al := range asg.PerService {
+		seen := make(map[int]bool, len(al.Cores))
+		cores := make([]int, 0, len(al.Cores))
+		for _, c := range al.Cores {
+			if managed[c] && !seen[c] {
+				seen[c] = true
+				cores = append(cores, c)
+			}
+		}
+		if len(cores) != len(al.Cores) {
+			clamped = true
+		}
+		if len(cores) == 0 {
+			clamped = true
+			cores = append([]int(nil), g.cfg.ManagedCores...)
+		}
+		freq := clampFreq(al.FreqGHz)
+		if freq != al.FreqGHz {
+			clamped = true
+		}
+		ways := al.CacheWays
+		if ways < 0 {
+			ways, clamped = 0, true
+		} else if ways > platform.NumCacheWays {
+			ways, clamped = platform.NumCacheWays, true
+		}
+		out.PerService[i] = sim.Allocation{Cores: cores, FreqGHz: freq, CacheWays: ways}
+	}
+	if clamped {
+		g.health.ActionsClamped++
+	}
+	return out
+}
+
+// breaker escalates any service that has violated QoS for BreakerK
+// consecutive intervals to every managed core at maximum frequency, and
+// holds it there until BreakerResetR consecutive met intervals.
+func (g *Guard) breaker(obs Observation, asg *sim.Assignment) {
+	for i, s := range obs.Services {
+		if s.QoSTargetMs > 0 && s.P99Ms > s.QoSTargetMs {
+			g.violStreak[i]++
+			g.metStreak[i] = 0
+		} else {
+			g.metStreak[i]++
+			g.violStreak[i] = 0
+		}
+		if !g.tripped[i] && g.violStreak[i] >= g.cfg.BreakerK {
+			g.tripped[i] = true
+			g.health.BreakerTrips++
+		}
+		if g.tripped[i] && g.metStreak[i] >= g.cfg.BreakerResetR {
+			g.tripped[i] = false
+		}
+		if g.tripped[i] && i < len(asg.PerService) {
+			g.health.BreakerIntervals++
+			asg.PerService[i] = sim.Allocation{
+				Cores:     append([]int(nil), g.cfg.ManagedCores...),
+				FreqGHz:   platform.MaxFreqGHz,
+				CacheWays: platform.NumCacheWays,
+			}
+		}
+	}
+}
+
+// safeAssignment is the static maximum-resource fallback: every service
+// on every managed core at the highest frequency.
+func (g *Guard) safeAssignment(k int) sim.Assignment {
+	asg := sim.Assignment{
+		PerService:  make([]sim.Allocation, k),
+		IdleFreqGHz: platform.MinFreqGHz,
+	}
+	for i := range asg.PerService {
+		asg.PerService[i] = sim.Allocation{
+			Cores:   append([]int(nil), g.cfg.ManagedCores...),
+			FreqGHz: platform.MaxFreqGHz,
+		}
+	}
+	return asg
+}
+
+func clampFreq(f float64) float64 {
+	if !isFinite(f) {
+		return platform.MaxFreqGHz
+	}
+	if f < platform.MinFreqGHz {
+		return platform.MinFreqGHz
+	}
+	if f > platform.MaxFreqGHz {
+		return platform.MaxFreqGHz
+	}
+	return f
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

@@ -62,7 +62,7 @@ func Fig1(svcName string, samples int, seed int64) Fig1Result {
 		// the incoming load" protocol of Sec. II-A.
 		load += (rng.Float64() - 0.5) * 0.2 * prof.MaxLoadRPS
 		load = mat.Clamp(load, 0.1*prof.MaxLoadRPS, 0.95*prof.MaxLoadRPS)
-		r := srv.Step(asg, []float64{load})
+		r := srv.MustStep(asg, []float64{load})
 		sv := r.Services[0]
 		if sv.Completed == 0 {
 			continue

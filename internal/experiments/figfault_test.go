@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/baselines"
+	"github.com/twig-sched/twig/internal/ctrl"
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/faults"
+	"github.com/twig-sched/twig/internal/sim/loadgen"
+)
+
+// panicEvery panics on a schedule, standing in for a buggy controller.
+type panicEvery struct {
+	inner  ctrl.Controller
+	period int
+	calls  int
+}
+
+func (p *panicEvery) Name() string { return "flaky" }
+func (p *panicEvery) Decide(o ctrl.Observation) sim.Assignment {
+	p.calls++
+	if p.calls%p.period == 0 {
+		panic("injected controller bug")
+	}
+	return p.inner.Decide(o)
+}
+
+// An unguarded controller panic must not abort the run: the loop falls
+// back to the last valid assignment and counts the save.
+func TestRunSurvivesControllerPanic(t *testing.T) {
+	srv := NewServer(3, "masstree")
+	flaky := &panicEvery{inner: baselines.NewStatic(srv.ManagedCores(), 1), period: 7}
+	sum := Run(RunConfig{
+		Server:       srv,
+		Controller:   flaky,
+		Patterns:     []loadgen.Pattern{loadgen.Fixed(400)},
+		Seconds:      50,
+		SummaryFromS: 10,
+	})
+	if sum.DecidePanics == 0 {
+		t.Fatal("no panics recorded despite a panicking controller")
+	}
+	if sum.QoSGuarantee[0] <= 0 {
+		t.Fatal("run produced no useful intervals")
+	}
+}
+
+// A controller emitting malformed assignments must not abort the run
+// either: the simulator rejects them and the loop replays the last valid
+// assignment.
+func TestRunSurvivesMalformedAssignment(t *testing.T) {
+	srv := NewServer(4, "masstree")
+	bad := &fakeController{decide: func(o ctrl.Observation) sim.Assignment {
+		return sim.Assignment{PerService: []sim.Allocation{{Cores: []int{9999}, FreqGHz: 2}}}
+	}}
+	sum := Run(RunConfig{
+		Server:       srv,
+		Controller:   bad,
+		Patterns:     []loadgen.Pattern{loadgen.Fixed(400)},
+		Seconds:      20,
+		SummaryFromS: 5,
+	})
+	if sum.StepErrors != 20 {
+		t.Fatalf("StepErrors = %d, want 20", sum.StepErrors)
+	}
+}
+
+type fakeController struct {
+	decide func(ctrl.Observation) sim.Assignment
+}
+
+func (f *fakeController) Name() string                             { return "fake" }
+func (f *fakeController) Decide(o ctrl.Observation) sim.Assignment { return f.decide(o) }
+
+// The headline robustness claim: under combined crash and PMC-corruption
+// faults, the guarded Twig-C holds strictly higher QoS than the same
+// controller unguarded.
+func TestGuardedTwigBeatsUnguardedUnderFaults(t *testing.T) {
+	sc := tinyScale()
+	fs := faults.MustNamed("crash")
+	fs.PMCCorruptPerKs = 120 // harden the sensor side of the episode
+	adaptScenario(&fs, sc.LearnS+sc.SummaryS)
+	names := []string{"masstree", "xapian"}
+
+	unguarded := FaultCellRun(sc, 5, fs, "twig-c", false, names)
+	guarded := FaultCellRun(sc, 5, fs, "twig-c", true, names)
+
+	if !(guarded.MeanQoS > unguarded.MeanQoS) {
+		t.Fatalf("guarded QoS %.3f not above unguarded %.3f", guarded.MeanQoS, unguarded.MeanQoS)
+	}
+	if guarded.Guard.ObsRepaired == 0 {
+		t.Fatal("guard repaired no observations under a sensor-fault scenario")
+	}
+}
+
+// The deterministic scenario schedule must make whole cells reproducible.
+func TestFaultCellReproducible(t *testing.T) {
+	sc := tinyScale()
+	fs := faults.MustNamed("sensor")
+	a := FaultCellRun(sc, 9, fs, "static", true, []string{"masstree"})
+	b := FaultCellRun(sc, 9, fs, "static", true, []string{"masstree"})
+	if a != b {
+		t.Fatalf("identical cells diverge:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestAdaptScenario(t *testing.T) {
+	fs := faults.Scenario{CrashPeriodS: 400, CrashOfflineS: 15}
+	adaptScenario(&fs, 200)
+	if fs.CrashPeriodS != 40 {
+		t.Fatalf("period = %d", fs.CrashPeriodS)
+	}
+	if fs.CrashOfflineS >= fs.CrashPeriodS/2 {
+		t.Fatalf("offline %d too long for period %d", fs.CrashOfflineS, fs.CrashPeriodS)
+	}
+	long := faults.Scenario{CrashPeriodS: 100, CrashOfflineS: 10}
+	adaptScenario(&long, 5000)
+	if long.CrashPeriodS != 100 || long.CrashOfflineS != 10 {
+		t.Fatal("long runs must keep the scenario untouched")
+	}
+}
+
+func TestFigFaultRendering(t *testing.T) {
+	r := FigFaultResult{
+		Scenarios: []string{"none"},
+		Services:  []string{"masstree", "xapian"},
+		Cells: []FaultCell{
+			{Scenario: "none", Manager: "static", MeanQoS: 0.9, MinQoS: 0.8, EnergyJ: 100},
+			{Scenario: "none", Manager: "static", Guarded: true, MeanQoS: 0.95, MinQoS: 0.9,
+				EnergyJ: 110, Recoveries: 2, MeanRecoveryS: 3, DecidePanics: 1},
+		},
+	}
+	s := r.String()
+	for _, want := range []string{"static", "static+guard", "90.0%", "recovery 3.0 s", "guard["} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -5,9 +5,12 @@
 package experiments
 
 import (
+	"math"
+
 	"github.com/twig-sched/twig/internal/ctrl"
 	"github.com/twig-sched/twig/internal/sim"
 	"github.com/twig-sched/twig/internal/sim/loadgen"
+	"github.com/twig-sched/twig/internal/sim/platform"
 )
 
 // RunConfig drives one controller against one simulated server.
@@ -48,7 +51,19 @@ type Summary struct {
 	// AvgCores and AvgFreqGHz describe the mean allocation per service.
 	AvgCores   []float64
 	AvgFreqGHz []float64
+	// DecidePanics counts controller panics the loop recovered from;
+	// StepErrors counts assignments the simulator rejected. In either
+	// case the loop re-uses the last valid assignment instead of
+	// aborting the run.
+	DecidePanics int
+	StepErrors   int
 }
+
+// nanTardiness is the tardiness recorded for an interval whose latency
+// reading is missing (a crashed service or a dropped sample): the QoS
+// target is counted as violated and the sample pinned at this penalty so
+// means stay finite.
+const nanTardiness = 10.0
 
 // Run executes the control loop: every simulated second the controller
 // receives the last interval's observation and decides the next
@@ -79,13 +94,30 @@ func Run(cfg RunConfig) Summary {
 	samples := 0
 	prevQueue := make([]int, k)
 
+	// lastValid is the most recent assignment the simulator accepted; it
+	// stands in when the controller panics or emits a malformed decision,
+	// like real hardware holding its previous DVFS/affinity programming.
+	lastValid := safeAssignment(srv)
+
 	for t := 0; t < cfg.Seconds; t++ {
-		asg := cfg.Controller.Decide(obs)
+		asg, panicked := safeDecide(cfg.Controller, obs)
+		if panicked {
+			sum.DecidePanics++
+			asg = lastValid
+		}
 		loads := make([]float64, k)
 		for i, p := range cfg.Patterns {
 			loads[i] = p.RPS(t)
 		}
-		res := srv.Step(asg, loads)
+		res, err := srv.Step(asg, loads)
+		if err != nil {
+			sum.StepErrors++
+			asg = lastValid
+			if res, err = srv.Step(asg, loads); err != nil {
+				panic(err) // lastValid was accepted before; cannot happen
+			}
+		}
+		lastValid = asg
 		if cfg.Hook != nil {
 			cfg.Hook(t, res, asg)
 		}
@@ -119,6 +151,9 @@ func Run(cfg RunConfig) Summary {
 
 			if inWindow {
 				tard := so.Tardiness()
+				if math.IsNaN(tard) || math.IsInf(tard, 0) || tard > nanTardiness {
+					tard = nanTardiness
+				}
 				sum.Tardiness[i] = append(sum.Tardiness[i], tard)
 				sum.MeanTardiness[i] += tard
 				if tard > sum.MaxTardiness[i] {
@@ -143,6 +178,30 @@ func Run(cfg RunConfig) Summary {
 		sum.AvgFreqGHz[i] /= n
 	}
 	return sum
+}
+
+// safeDecide runs the controller's Decide, converting a panic into a
+// flag so one buggy decision cannot abort a whole experiment run.
+func safeDecide(c ctrl.Controller, obs ctrl.Observation) (asg sim.Assignment, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	return c.Decide(obs), false
+}
+
+// safeAssignment is the conservative fallback mapping: every service on
+// every managed core at the maximum DVFS setting.
+func safeAssignment(srv *sim.Server) sim.Assignment {
+	asg := sim.Assignment{
+		PerService:  make([]sim.Allocation, srv.NumServices()),
+		IdleFreqGHz: platform.MinFreqGHz,
+	}
+	for i := range asg.PerService {
+		asg.PerService[i] = sim.Allocation{Cores: srv.ManagedCores(), FreqGHz: platform.MaxFreqGHz}
+	}
+	return asg
 }
 
 // initialObservation bootstraps the loop before any measurement exists.

@@ -7,6 +7,7 @@ import (
 	"github.com/twig-sched/twig/internal/bdq"
 	"github.com/twig-sched/twig/internal/core"
 	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/faults"
 	"github.com/twig-sched/twig/internal/sim/service"
 )
 
@@ -125,6 +126,24 @@ func NewServer(seed int64, names ...string) *sim.Server {
 	}
 	cfg := sim.DefaultConfig()
 	cfg.MeasurementSeed = seed
+	return sim.NewServer(cfg, specs)
+}
+
+// NewFaultyServer is NewServer with a fault-injection scenario armed.
+// The schedule is fully determined by the scenario and seed, so runs are
+// reproducible fault-for-fault.
+func NewFaultyServer(seed int64, fs *faults.Scenario, names ...string) *sim.Server {
+	specs := make([]sim.ServiceSpec, len(names))
+	for i, n := range names {
+		specs[i] = sim.ServiceSpec{
+			Profile:     service.MustLookup(n),
+			QoSTargetMs: QoSTarget(n),
+			Seed:        seed + int64(i)*101,
+		}
+	}
+	cfg := sim.DefaultConfig()
+	cfg.MeasurementSeed = seed
+	cfg.Faults = fs
 	return sim.NewServer(cfg, specs)
 }
 

@@ -50,7 +50,7 @@ func Table1(services []string, secondsPerPoint int, seed int64) Table1Result {
 				}
 				load := 0.35 * prof.MaxLoadRPS
 				for t := 0; t < secondsPerPoint; t++ {
-					r := srv.Step(asg, []float64{load})
+					r := srv.MustStep(asg, []float64{load})
 					sv := r.Services[0]
 					if t < secondsPerPoint/4 || sv.Completed == 0 {
 						continue

@@ -61,7 +61,7 @@ func Table2(secondsPerStep int, seed int64) Table2Result {
 			}
 			var lat []float64
 			for t := 0; t < secondsPerStep; t++ {
-				r := srv.Step(asg, []float64{frac * prof.MaxLoadRPS})
+				r := srv.MustStep(asg, []float64{frac * prof.MaxLoadRPS})
 				if t >= secondsPerStep/3 {
 					lat = append(lat, r.Services[0].P99Ms)
 				}

@@ -26,7 +26,7 @@ func TestBatchSoaksUnownedCores(t *testing.T) {
 		PerService:  []Allocation{{Cores: cores[:10], FreqGHz: 2.0}},
 		IdleFreqGHz: platform.MinFreqGHz,
 	}
-	r := srv.Step(asg, []float64{300})
+	r := srv.MustStep(asg, []float64{300})
 	if r.Batch.Cores != 8 {
 		t.Fatalf("batch cores = %d, want the 8 unowned", r.Batch.Cores)
 	}
@@ -45,7 +45,7 @@ func TestBatchStarvesUnderFullAllocation(t *testing.T) {
 	asg := Assignment{
 		PerService: []Allocation{{Cores: srv.ManagedCores(), FreqGHz: 2.0}},
 	}
-	r := srv.Step(asg, []float64{300})
+	r := srv.MustStep(asg, []float64{300})
 	if r.Batch.Cores != 0 || r.Batch.WorkDone != 0 {
 		t.Fatalf("batch should starve: %+v", r.Batch)
 	}
@@ -57,7 +57,7 @@ func TestNoBatchConfigured(t *testing.T) {
 		PerService:  []Allocation{{Cores: srv.ManagedCores()[:4], FreqGHz: 2.0}},
 		IdleFreqGHz: platform.MinFreqGHz,
 	}
-	r := srv.Step(asg, []float64{300})
+	r := srv.MustStep(asg, []float64{300})
 	if r.Batch.Cores != 0 || srv.BatchWork() != 0 {
 		t.Fatal("no batch should run")
 	}
@@ -83,7 +83,7 @@ func TestBatchAddsInterferencePressure(t *testing.T) {
 		}
 		var infl float64
 		for i := 0; i < 10; i++ {
-			r := srv.Step(asg, []float64{0.3 * service.MustLookup("img-dnn").MaxLoadRPS})
+			r := srv.MustStep(asg, []float64{0.3 * service.MustLookup("img-dnn").MaxLoadRPS})
 			infl = r.Services[0].InflationApplied
 		}
 		return infl
@@ -106,7 +106,7 @@ func TestBatchPowerAccounted(t *testing.T) {
 		}
 		var p float64
 		for i := 0; i < 5; i++ {
-			p = srv.Step(asg, []float64{200}).TruePowerW
+			p = srv.MustStep(asg, []float64{200}).TruePowerW
 		}
 		return p
 	}

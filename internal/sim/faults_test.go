@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/sim/faults"
+	"github.com/twig-sched/twig/internal/sim/platform"
+	"github.com/twig-sched/twig/internal/sim/service"
+)
+
+func faultyServer(fs faults.Scenario, seed int64, names ...string) *Server {
+	cfg := DefaultConfig()
+	cfg.MeasurementSeed = seed
+	cfg.Faults = &fs
+	specs := make([]ServiceSpec, len(names))
+	for i, n := range names {
+		specs[i] = ServiceSpec{Profile: service.MustLookup(n), QoSTargetMs: 5, Seed: int64(i + 1)}
+	}
+	return NewServer(cfg, specs)
+}
+
+func TestValidateRejectsMalformedAssignments(t *testing.T) {
+	s := newTestServer("masstree")
+	good := fullAlloc(s)
+	cases := []struct {
+		name  string
+		asg   Assignment
+		loads []float64
+	}{
+		{"wrong service count", Assignment{}, []float64{100}},
+		{"wrong load count", good, []float64{100, 100}},
+		{"NaN load", good, []float64{math.NaN()}},
+		{"negative load", good, []float64{-1}},
+		{"infinite load", good, []float64{math.Inf(1)}},
+		{"core out of range", Assignment{PerService: []Allocation{{Cores: []int{99}, FreqGHz: 2}}}, []float64{100}},
+		{"negative core", Assignment{PerService: []Allocation{{Cores: []int{-1}, FreqGHz: 2}}}, []float64{100}},
+		{"NaN freq", Assignment{PerService: []Allocation{{Cores: []int{18}, FreqGHz: math.NaN()}}}, []float64{100}},
+		{"negative freq", Assignment{PerService: []Allocation{{Cores: []int{18}, FreqGHz: -2}}}, []float64{100}},
+		{"cache ways", Assignment{PerService: []Allocation{{Cores: []int{18}, FreqGHz: 2, CacheWays: 99}}}, []float64{100}},
+		{"NaN idle freq", Assignment{PerService: []Allocation{{Cores: []int{18}, FreqGHz: 2}}, IdleFreqGHz: math.NaN()}, []float64{100}},
+	}
+	for _, tc := range cases {
+		if _, err := s.Step(tc.asg, tc.loads); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if s.Clock() != 0 {
+			t.Fatalf("%s: rejected step advanced the clock", tc.name)
+		}
+	}
+	if _, err := s.Step(good, []float64{100}); err != nil {
+		t.Fatalf("good assignment rejected: %v", err)
+	}
+}
+
+// The tentpole determinism guarantee end to end: the same scenario and
+// seed reproduce the identical fault schedule and identical observable
+// results across two servers.
+func TestFaultScheduleDeterministicThroughSim(t *testing.T) {
+	run := func() ([][]faults.Event, []float64) {
+		s := faultyServer(faults.MustNamed("hostile"), 11, "masstree")
+		asg := fullAlloc(s)
+		var evs [][]faults.Event
+		var p99 []float64
+		for i := 0; i < 400; i++ {
+			r := s.MustStep(asg, []float64{800})
+			evs = append(evs, append([]faults.Event(nil), r.Faults...))
+			p99 = append(p99, r.Services[0].P99Ms)
+		}
+		return evs, p99
+	}
+	evA, latA := run()
+	evB, latB := run()
+	if !reflect.DeepEqual(evA, evB) {
+		t.Fatal("fault schedules differ between identical runs")
+	}
+	var seen int
+	for _, e := range evA {
+		seen += len(e)
+	}
+	if seen == 0 {
+		t.Fatal("hostile scenario injected nothing in 400 intervals")
+	}
+	for i := range latA {
+		same := latA[i] == latB[i] || (math.IsNaN(latA[i]) && math.IsNaN(latB[i]))
+		if !same {
+			t.Fatalf("latency diverges at t=%d: %v vs %v", i, latA[i], latB[i])
+		}
+	}
+}
+
+func TestCrashEpisodeGoesDarkAndRecovers(t *testing.T) {
+	fs := faults.Scenario{CrashPeriodS: 50, CrashOfflineS: 5, CrashWarmupS: 3}
+	s := faultyServer(fs, 3, "masstree")
+	asg := fullAlloc(s)
+	load := 0.4 * service.MustLookup("masstree").MaxLoadRPS
+
+	sawNaN := false
+	for i := 0; i < 120; i++ {
+		r := s.MustStep(asg, []float64{load})
+		inCrash := false
+		for _, e := range r.Faults {
+			if e.Kind == faults.ServiceCrash {
+				inCrash = true
+			}
+		}
+		sv := r.Services[0]
+		if inCrash {
+			sawNaN = true
+			if !math.IsNaN(sv.P99Ms) {
+				t.Fatalf("t=%d: crashed service reported p99 %v, want NaN", i, sv.P99Ms)
+			}
+			if sv.Completed != 0 || sv.QueueLen != 0 {
+				t.Fatalf("t=%d: crashed service completed %d, queue %d", i, sv.Completed, sv.QueueLen)
+			}
+		}
+	}
+	if !sawNaN {
+		t.Fatal("no crash interval observed in 120 s with period 50")
+	}
+	// After the run the service must be processing again.
+	r := s.MustStep(asg, []float64{load})
+	if r.Services[0].Completed == 0 {
+		t.Fatal("service did not recover after crash episodes")
+	}
+}
+
+func TestSensorFaultsVisible(t *testing.T) {
+	fs := faults.Scenario{
+		PMCDropoutPerKs: 400, RAPLFailPerKs: 400,
+		LatencyDropPerKs: 400, MaxFaultS: 2,
+	}
+	s := faultyServer(fs, 7, "masstree")
+	asg := fullAlloc(s)
+	var sawPMCDrop, sawRAPL, sawLatDrop bool
+	for i := 0; i < 100; i++ {
+		r := s.MustStep(asg, []float64{500})
+		for _, e := range r.Faults {
+			switch e.Kind {
+			case faults.PMCDropout:
+				sawPMCDrop = true
+				for _, v := range r.Services[0].PMCs {
+					if v != 0 {
+						t.Fatalf("t=%d: dropped PMC sample has %v", i, v)
+					}
+				}
+			case faults.RAPLFail:
+				sawRAPL = true
+				if !math.IsNaN(r.PowerW) {
+					t.Fatalf("t=%d: RAPL fault but power %v", i, r.PowerW)
+				}
+				if math.IsNaN(r.TruePowerW) || r.TruePowerW <= 0 {
+					t.Fatal("true power must stay real")
+				}
+			case faults.LatencyDropout:
+				sawLatDrop = true
+				if !math.IsNaN(r.Services[0].P99Ms) {
+					t.Fatalf("t=%d: latency dropout but p99 %v", i, r.Services[0].P99Ms)
+				}
+			}
+		}
+	}
+	if !sawPMCDrop || !sawRAPL || !sawLatDrop {
+		t.Fatalf("faults not exercised: pmc=%v rapl=%v lat=%v", sawPMCDrop, sawRAPL, sawLatDrop)
+	}
+}
+
+func TestCoreFailureOverridesController(t *testing.T) {
+	fs := faults.Scenario{CoreFailPerKs: 120, MaxFaultS: 4}
+	s := faultyServer(fs, 5, "masstree")
+	asg := fullAlloc(s)
+	lost := false
+	for i := 0; i < 80; i++ {
+		r := s.MustStep(asg, []float64{300})
+		if r.Services[0].NumCores < 18 {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Fatal("no interval lost a core despite CoreFail faults")
+	}
+	// All cores must eventually come back online.
+	for i := 0; i < 40; i++ {
+		s.MustStep(asg, []float64{300})
+	}
+	online := 0
+	for _, id := range s.ManagedCores() {
+		if s.Platform().Core(id).Online {
+			online++
+		}
+	}
+	if online == 0 {
+		t.Fatal("every core stuck offline")
+	}
+}
+
+func TestActuationDropHoldsPreviousProgramming(t *testing.T) {
+	// Force a dropped actuation on (essentially) every interval: the
+	// first interval has nothing applied yet, so no service owns cores.
+	fs := faults.Scenario{ActuationDropPerKs: 1000, MaxFaultS: 1}
+	s := faultyServer(fs, 9, "masstree")
+	r := s.MustStep(fullAlloc(s), []float64{100})
+	if r.Services[0].NumCores != 0 {
+		t.Fatalf("dropped first actuation still assigned %d cores", r.Services[0].NumCores)
+	}
+}
+
+func TestLoadSpikeMultipliesOfferedLoad(t *testing.T) {
+	fs := faults.Scenario{LoadSpikePerKs: 1000, LoadSpikeFactor: 4, MaxFaultS: 1}
+	s := faultyServer(fs, 13, "masstree")
+	r := s.MustStep(fullAlloc(s), []float64{100})
+	if r.Services[0].OfferedRPS != 400 {
+		t.Fatalf("offered RPS %v, want 400 under a 4x flash crowd", r.Services[0].OfferedRPS)
+	}
+}
+
+func TestOfflineCoreAssignmentIsDroppedNotFatal(t *testing.T) {
+	s := newTestServer("masstree")
+	cores := s.ManagedCores()
+	s.Platform().SetOnline(cores[0], false)
+	asg := Assignment{PerService: []Allocation{{Cores: cores, FreqGHz: platform.MaxFreqGHz}}}
+	r, err := s.Step(asg, []float64{100})
+	if err != nil {
+		t.Fatalf("assignment spanning an offline core must not error: %v", err)
+	}
+	if r.Services[0].NumCores != len(cores)-1 {
+		t.Fatalf("got %d cores, want %d (offline core dropped)", r.Services[0].NumCores, len(cores)-1)
+	}
+}

@@ -155,17 +155,35 @@ func TestReadTraceTwoColumns(t *testing.T) {
 }
 
 func TestReadTraceErrors(t *testing.T) {
-	cases := []string{
-		"",                    // empty
-		"rps\n",               // header only
-		"t,rps\n1,100\n1,200", // non-ascending timestamps
-		"t,rps\n0,abc",        // bad rps
-		"rps\n-5",             // negative
-		"rps\n100\ngarbage",   // non-numeric after data
+	cases := []struct {
+		name    string
+		input   string
+		wantErr string
+	}{
+		{"empty", "", "empty trace"},
+		{"header only", "rps\n", "empty trace"},
+		{"non-ascending timestamps", "t,rps\n1,100\n1,200", "ascend"},
+		{"bad rps", "t,rps\n0,abc", "bad rps"},
+		{"negative", "rps\n-5", "negative rps"},
+		{"non-numeric after data", "rps\n100\ngarbage", "non-numeric"},
+		{"NaN rps", "rps\n100\nNaN", "NaN"},
+		{"infinite rps", "rps\n100\nInf", "infinite"},
+		{"negative infinity", "rps\n100\n-Inf", "infinite"},
+		{"NaN rps two-column", "t,rps\n0,100\n1,nan", "NaN"},
+		{"infinite rps two-column", "t,rps\n0,100\n1,+Inf", "infinite"},
+		{"negative two-column", "t,rps\n0,100\n1,-3", "negative rps"},
+		{"NaN timestamp", "t,rps\nNaN,100", "non-finite timestamp"},
+		{"infinite timestamp", "t,rps\nInf,100", "non-finite timestamp"},
 	}
-	for i, c := range cases {
-		if _, err := ReadTrace(strings.NewReader(c), false); err == nil {
-			t.Fatalf("case %d should error: %q", i, c)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadTrace(strings.NewReader(tc.input), false)
+			if err == nil {
+				t.Fatalf("input %q should error", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }

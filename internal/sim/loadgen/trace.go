@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -63,6 +64,9 @@ func ReadTrace(r io.Reader, loop bool) (*Trace, error) {
 			v, _ = strconv.ParseFloat(first, 64)
 		default:
 			t, _ := strconv.ParseFloat(first, 64)
+			if math.IsNaN(t) || math.IsInf(t, 0) {
+				return nil, fmt.Errorf("loadgen: row %d: non-finite timestamp %q", len(rps)+1, first)
+			}
 			if t <= lastT {
 				return nil, fmt.Errorf("loadgen: trace timestamps must ascend (%v after %v)", t, lastT)
 			}
@@ -72,8 +76,15 @@ func ReadTrace(r io.Reader, loop bool) (*Trace, error) {
 				return nil, fmt.Errorf("loadgen: bad rps %q", rec[1])
 			}
 		}
-		if v < 0 {
-			return nil, fmt.Errorf("loadgen: negative rps %v", v)
+		// strconv.ParseFloat happily accepts "NaN" and "Inf"; neither is
+		// a load a server can be offered, so reject them with the row.
+		switch {
+		case math.IsNaN(v):
+			return nil, fmt.Errorf("loadgen: row %d: rps is NaN", len(rps)+1)
+		case math.IsInf(v, 0):
+			return nil, fmt.Errorf("loadgen: row %d: rps is infinite", len(rps)+1)
+		case v < 0:
+			return nil, fmt.Errorf("loadgen: row %d: negative rps %v", len(rps)+1, v)
 		}
 		rps = append(rps, v)
 	}

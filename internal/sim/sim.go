@@ -8,9 +8,11 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"github.com/twig-sched/twig/internal/sim/batch"
+	"github.com/twig-sched/twig/internal/sim/faults"
 	"github.com/twig-sched/twig/internal/sim/interference"
 	"github.com/twig-sched/twig/internal/sim/platform"
 	"github.com/twig-sched/twig/internal/sim/pmc"
@@ -35,6 +37,12 @@ type Config struct {
 	// setting Heracles and PARTIES target, where reclaimed resources
 	// become throughput instead of idle savings.
 	Batch *batch.Spec
+	// Faults, when non-nil and non-zero, injects the scenario's
+	// deterministic fault schedule into the run (sensor dropout and
+	// corruption, lost actuation, core failures, crash episodes, flash
+	// crowds). The schedule is seeded from MeasurementSeed and does not
+	// depend on controller behaviour.
+	Faults *faults.Scenario
 }
 
 // DefaultConfig returns the paper's evaluation platform.
@@ -98,11 +106,15 @@ type StepResult struct {
 	// Batch reports the best-effort workload's progress (zero when no
 	// batch is configured).
 	Batch batch.Stats
-	// PowerW is the RAPL measurement of the managed socket;
-	// TruePowerW is the noiseless value; EnergyJ is TruePowerW × 1 s.
+	// PowerW is the RAPL measurement of the managed socket (NaN when an
+	// injected RAPL read failure is active); TruePowerW is the noiseless
+	// value; EnergyJ is TruePowerW × 1 s.
 	PowerW     float64
 	TruePowerW float64
 	EnergyJ    float64
+	// Faults lists the injected faults active during this interval
+	// (empty without a fault scenario).
+	Faults []faults.Event
 }
 
 // Server is a running simulated node.
@@ -119,6 +131,16 @@ type Server struct {
 	clock      int
 	energyJ    float64
 	batchWorkJ float64
+
+	// Fault-injection state.
+	inj         *faults.Injector
+	downed      map[int]bool // cores offlined by injected CoreFail
+	appliedAsg  Assignment   // last assignment actually actuated
+	haveApplied bool
+	crashPrev   []bool // crash activity in the previous interval
+	warmupLeft  []int  // cold-restart warm-up intervals remaining
+	lastLat     []ServiceStats
+	haveLat     []bool
 }
 
 // NewServer builds a simulated server hosting the given services.
@@ -126,16 +148,24 @@ func NewServer(cfg Config, specs []ServiceSpec) *Server {
 	plat := platform.New(cfg.Platform)
 	mrng := rand.New(rand.NewSource(cfg.MeasurementSeed + 1))
 	s := &Server{
-		cfg:    cfg,
-		plat:   plat,
-		specs:  specs,
-		interf: interference.New(cfg.Interference),
-		pow:    power.New(cfg.Power, mrng),
-		synth:  pmc.NewSynthesizer(rand.New(rand.NewSource(cfg.MeasurementSeed+2)), cfg.PMCNoise),
-		maxima: pmc.CalibrationMaxima(cfg.Platform.CoresPerSocket, platform.MaxFreqGHz),
+		cfg:       cfg,
+		plat:      plat,
+		specs:     specs,
+		interf:    interference.New(cfg.Interference),
+		pow:       power.New(cfg.Power, mrng),
+		synth:     pmc.NewSynthesizer(rand.New(rand.NewSource(cfg.MeasurementSeed+2)), cfg.PMCNoise),
+		maxima:    pmc.CalibrationMaxima(cfg.Platform.CoresPerSocket, platform.MaxFreqGHz),
+		downed:    map[int]bool{},
+		crashPrev: make([]bool, len(specs)),
+		warmupLeft: make([]int, len(specs)),
+		lastLat:   make([]ServiceStats, len(specs)),
+		haveLat:   make([]bool, len(specs)),
 	}
 	for i, spec := range specs {
 		s.insts = append(s.insts, service.NewInstance(spec.Profile, cfg.Platform.CoresPerSocket, spec.Seed+int64(i)))
+	}
+	if cfg.Faults != nil && !cfg.Faults.IsZero() {
+		s.inj = faults.NewInjector(*cfg.Faults, cfg.MeasurementSeed+3, len(specs), s.ManagedCores())
 	}
 	return s
 }
@@ -177,14 +207,146 @@ func (s *Server) IdlePowerW() float64 {
 // CalibrationMaxima exposes the PMC normalisation vector.
 func (s *Server) CalibrationMaxima() pmc.Sample { return s.maxima }
 
-// Step advances the simulation by one second under the given assignment
-// and offered loads (one RPS per service).
-func (s *Server) Step(asg Assignment, loads []float64) StepResult {
+// Validate checks an assignment and load vector without mutating any
+// state. It rejects what only a buggy controller could produce: wrong
+// slice lengths, core IDs outside the machine, non-finite or negative
+// frequencies and loads, and out-of-range cache-way requests.
+// Assignments to offline (failed) cores are NOT errors — on real
+// hardware the affinity write is simply lost — and are dropped by Step.
+func (s *Server) Validate(asg Assignment, loads []float64) error {
 	if len(asg.PerService) != len(s.insts) || len(loads) != len(s.insts) {
-		panic(fmt.Sprintf("sim: %d services, got %d allocations and %d loads",
-			len(s.insts), len(asg.PerService), len(loads)))
+		return fmt.Errorf("sim: %d services, got %d allocations and %d loads",
+			len(s.insts), len(asg.PerService), len(loads))
 	}
-	s.applyAssignment(asg)
+	for i, l := range loads {
+		if !isFinite(l) || l < 0 {
+			return fmt.Errorf("sim: service %d offered load %v is not a finite non-negative rate", i, l)
+		}
+	}
+	n := s.plat.NumCores()
+	for i, alloc := range asg.PerService {
+		for _, c := range alloc.Cores {
+			if c < 0 || c >= n {
+				return fmt.Errorf("sim: service %d assigned core %d out of range [0,%d)", i, c, n)
+			}
+		}
+		if f := alloc.FreqGHz; !isFinite(f) || f < 0 {
+			return fmt.Errorf("sim: service %d frequency %v GHz is not finite and non-negative", i, f)
+		}
+		if w := alloc.CacheWays; w < 0 || w > platform.NumCacheWays {
+			return fmt.Errorf("sim: service %d cache ways %d out of range [0,%d]", i, w, platform.NumCacheWays)
+		}
+	}
+	if f := asg.IdleFreqGHz; !isFinite(f) || f < 0 {
+		return fmt.Errorf("sim: idle frequency %v GHz is not finite and non-negative", f)
+	}
+	return nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// MustStep is Step for callers with known-good assignments (tests,
+// calibration sweeps, examples); it panics on a validation error.
+func (s *Server) MustStep(asg Assignment, loads []float64) StepResult {
+	res, err := s.Step(asg, loads)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Step advances the simulation by one second under the given assignment
+// and offered loads (one RPS per service). A malformed assignment or
+// load vector returns an error without advancing the clock, so a buggy
+// controller cannot kill a run; see Validate for what is rejected.
+func (s *Server) Step(asg Assignment, loads []float64) (StepResult, error) {
+	if err := s.Validate(asg, loads); err != nil {
+		return StepResult{}, err
+	}
+
+	// Draw this interval's injected faults and partition them by effect.
+	var active []faults.Event
+	if s.inj != nil {
+		active = append([]faults.Event(nil), s.inj.Advance()...)
+	}
+	k := len(s.insts)
+	var (
+		raplFail, actuationDrop bool
+
+		failedCores = map[int]bool{}
+		pmcDrop     = make([]bool, k)
+		pmcCorrupt  = make([][]faults.Event, k)
+		latDrop     = make([]bool, k)
+		latStale    = make([]bool, k)
+		crashed     = make([]bool, k)
+		spike       = make([]float64, k)
+	)
+	for i := range spike {
+		spike[i] = 1
+	}
+	for _, e := range active {
+		switch e.Kind {
+		case faults.RAPLFail:
+			raplFail = true
+		case faults.ActuationDrop:
+			actuationDrop = true
+		case faults.CoreFail:
+			failedCores[e.Core] = true
+		case faults.PMCDropout:
+			pmcDrop[e.Service] = true
+		case faults.PMCCorrupt:
+			pmcCorrupt[e.Service] = append(pmcCorrupt[e.Service], e)
+		case faults.LatencyDropout:
+			latDrop[e.Service] = true
+		case faults.LatencyStale:
+			latStale[e.Service] = true
+		case faults.ServiceCrash:
+			crashed[e.Service] = true
+		case faults.LoadSpike:
+			spike[e.Service] *= e.Magnitude
+		}
+	}
+
+	// Transient core failures: offline newly failed cores, restore the
+	// ones whose fault expired.
+	var recovered []int
+	for c := range s.downed {
+		if !failedCores[c] {
+			recovered = append(recovered, c)
+		}
+	}
+	for _, c := range recovered {
+		s.plat.SetOnline(c, true)
+		delete(s.downed, c)
+	}
+	for c := range failedCores {
+		if !s.downed[c] {
+			s.plat.SetOnline(c, false)
+			s.downed[c] = true
+		}
+	}
+
+	// Actuate, unless this interval's DVFS/affinity writes are dropped,
+	// in which case the previously applied settings persist.
+	eff := asg
+	if actuationDrop {
+		if s.haveApplied {
+			eff = s.appliedAsg
+		} else {
+			eff = Assignment{PerService: make([]Allocation, k)}
+		}
+	} else {
+		s.applyAssignment(asg)
+		s.appliedAsg = cloneAssignment(asg)
+		s.haveApplied = true
+	}
+
+	// Flash crowds multiply the offered load.
+	effLoads := append([]float64(nil), loads...)
+	for i := range effLoads {
+		effLoads[i] *= spike[i]
+	}
+	loads = effLoads
 
 	// Pre-compute per-service shares, frequencies and capacities.
 	type allocState struct {
@@ -209,19 +371,29 @@ func (s *Server) Step(asg Assignment, loads []float64) StepResult {
 			st.avgFreq = freqSum / float64(len(cores))
 		}
 		st.cap = inst.Profile.CapacityGHz(st.shares, st.freqs)
+		// A freshly restarted service runs at degraded capacity while
+		// caches re-warm and its queue rebuilds.
+		if w := s.warmupLeft[i]; w > 0 && !crashed[i] {
+			total := s.inj.WarmupS()
+			st.cap *= 1 - 0.7*float64(w)/float64(total+1)
+			s.warmupLeft[i]--
+		}
 		states[i] = st
 	}
 
 	// Interference: offered bandwidth is bounded by what the service
-	// can actually process.
+	// can actually process. A crashed service demands nothing.
 	demands := make([]interference.Demand, len(s.insts))
 	for i, inst := range s.insts {
+		if crashed[i] {
+			continue
+		}
 		offered := loads[i] * inst.MeanWork()
 		if offered > states[i].cap {
 			offered = states[i].cap
 		}
 		reservedMB := 0.0
-		if w := asg.PerService[i].CacheWays; w > 0 {
+		if w := eff.PerService[i].CacheWays; w > 0 {
 			reservedMB = float64(w) / platform.NumCacheWays * s.cfg.Interference.LLCMB
 		}
 		demands[i] = interference.Demand{
@@ -255,8 +427,28 @@ func (s *Server) Step(asg Assignment, loads []float64) StepResult {
 
 	// Run the queueing models and gather per-core utilisation.
 	util := make(map[int]float64)
-	res := StepResult{Time: s.clock, Services: make([]ServiceStats, len(s.insts))}
+	res := StepResult{Time: s.clock, Services: make([]ServiceStats, len(s.insts)), Faults: active}
 	for i, inst := range s.insts {
+		if crashed[i] {
+			// The process is down: in-flight requests are lost on the
+			// crash edge, arrivals are rejected, the log emits nothing.
+			if !s.crashPrev[i] {
+				inst.ResetQueue()
+				inst.ResetWindow()
+			}
+			nan := math.NaN()
+			res.Services[i] = ServiceStats{
+				IntervalStats: service.IntervalStats{
+					P99Ms: nan, P95Ms: nan, MeanMs: nan, MaxMs: nan,
+					Dropped: int(loads[i]),
+				},
+				QoSTargetMs: s.specs[i].QoSTargetMs,
+				NumCores:    len(states[i].cores),
+				FreqGHz:     states[i].avgFreq,
+				OfferedRPS:  loads[i],
+			}
+			continue
+		}
 		ist := inst.RunInterval(loads[i], states[i].cap, contention[i].Inflation, 1)
 		busyFrac := ist.BusySeconds // dt = 1 s
 		var busyCoreSeconds float64
@@ -273,6 +465,17 @@ func (s *Server) Step(asg Assignment, loads []float64) StepResult {
 			LLCMissFactor:   contention[i].LLCMissFactor,
 		}
 		sample := s.synth.Synthesize(gt, ratesOf(inst.Profile))
+		// Sensor faults on the counter path.
+		if pmcDrop[i] {
+			sample = pmc.Sample{}
+		}
+		for _, e := range pmcCorrupt[i] {
+			if e.Magnitude == 0 {
+				sample[e.Counter] = math.NaN()
+			} else {
+				sample[e.Counter] *= e.Magnitude
+			}
+		}
 		res.Services[i] = ServiceStats{
 			IntervalStats: ist,
 			PMCs:          sample,
@@ -282,6 +485,30 @@ func (s *Server) Step(asg Assignment, loads []float64) StepResult {
 			FreqGHz:       states[i].avgFreq,
 			OfferedRPS:    loads[i],
 		}
+		// Sensor faults on the log-scrape path: a missing sample reads
+		// NaN, a stale scrape repeats the last reported line.
+		sv := &res.Services[i]
+		switch {
+		case latDrop[i]:
+			nan := math.NaN()
+			sv.P99Ms, sv.P95Ms, sv.MeanMs, sv.MaxMs = nan, nan, nan, nan
+		case latStale[i] && s.haveLat[i]:
+			last := s.lastLat[i]
+			sv.P99Ms, sv.P95Ms, sv.MeanMs, sv.MaxMs = last.P99Ms, last.P95Ms, last.MeanMs, last.MaxMs
+		}
+		if isFinite(sv.P99Ms) {
+			s.lastLat[i] = *sv
+			s.haveLat[i] = true
+		}
+	}
+
+	// Crash bookkeeping: a service leaving its offline episode restarts
+	// cold and re-warms over the next intervals.
+	for i := range s.insts {
+		if s.crashPrev[i] && !crashed[i] && s.inj != nil {
+			s.warmupLeft[i] = s.inj.WarmupS()
+		}
+		s.crashPrev[i] = crashed[i]
 	}
 
 	// Batch progress: throughput degrades with its contention inflation.
@@ -307,22 +534,28 @@ func (s *Server) Step(asg Assignment, loads []float64) StepResult {
 	}
 	res.TruePowerW = s.pow.SocketPower(coreStates)
 	res.PowerW = s.pow.ReadRAPL(coreStates)
+	if raplFail {
+		res.PowerW = math.NaN()
+	}
 	res.EnergyJ = res.TruePowerW
 	s.energyJ += res.EnergyJ
 	s.clock++
-	return res
+	return res, nil
 }
 
 func (s *Server) applyAssignment(asg Assignment) {
 	s.plat.ClearAffinity()
 	// Cores requested by several services (time-shared after resource
-	// arbitration) run at the highest requested DVFS state.
+	// arbitration) run at the highest requested DVFS state. Writes to
+	// offline (failed or hot-unplugged) cores are lost, as they are on
+	// real hardware.
 	owned := make(map[int]float64)
 	for svc, alloc := range asg.PerService {
 		for _, c := range alloc.Cores {
-			if err := s.plat.Assign(svc, c); err != nil {
-				panic(err)
+			if !s.plat.Core(c).Online {
+				continue
 			}
+			_ = s.plat.Assign(svc, c)
 			if alloc.FreqGHz > owned[c] {
 				owned[c] = alloc.FreqGHz
 			}
@@ -338,6 +571,19 @@ func (s *Server) applyAssignment(asg Assignment) {
 			}
 		}
 	}
+}
+
+func cloneAssignment(asg Assignment) Assignment {
+	out := Assignment{IdleFreqGHz: asg.IdleFreqGHz}
+	out.PerService = make([]Allocation, len(asg.PerService))
+	for i, a := range asg.PerService {
+		out.PerService[i] = Allocation{
+			Cores:     append([]int(nil), a.Cores...),
+			FreqGHz:   a.FreqGHz,
+			CacheWays: a.CacheWays,
+		}
+	}
+	return out
 }
 
 func ratesOf(p service.Profile) pmc.Rates {
@@ -362,7 +608,7 @@ func CalibrateQoSTarget(p service.Profile, cfg Config, seconds int, seed int64) 
 	asg := Assignment{PerService: []Allocation{{Cores: cores, FreqGHz: platform.MaxFreqGHz}}}
 	var lat []float64
 	for t := 0; t < seconds; t++ {
-		r := srv.Step(asg, []float64{p.MaxLoadRPS})
+		r := srv.MustStep(asg, []float64{p.MaxLoadRPS})
 		if t >= seconds/3 {
 			lat = append(lat, r.Services[0].P99Ms)
 		}

@@ -44,7 +44,7 @@ func TestServerBasics(t *testing.T) {
 func TestStepAdvancesClockAndEnergy(t *testing.T) {
 	s := newTestServer("masstree")
 	asg := fullAlloc(s)
-	r := s.Step(asg, []float64{1000})
+	r := s.MustStep(asg, []float64{1000})
 	if r.Time != 0 || s.Clock() != 1 {
 		t.Fatal("clock")
 	}
@@ -69,7 +69,7 @@ func TestStepArgumentValidation(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	s.Step(Assignment{}, []float64{100})
+	s.MustStep(Assignment{}, []float64{100})
 }
 
 func TestLatencyRespondsToAllocation(t *testing.T) {
@@ -85,8 +85,8 @@ func TestLatencyRespondsToAllocation(t *testing.T) {
 	}
 	var lBig, lSmall float64
 	for i := 0; i < 30; i++ {
-		rb := sBig.Step(big, load)
-		rs := sSmall.Step(small, load)
+		rb := sBig.MustStep(big, load)
+		rs := sSmall.MustStep(small, load)
 		if i >= 10 {
 			lBig += rb.Services[0].P99Ms
 			lSmall += rs.Services[0].P99Ms
@@ -107,7 +107,7 @@ func TestPowerRespondsToIdleFrequency(t *testing.T) {
 		}
 		var p float64
 		for i := 0; i < 10; i++ {
-			p += s.Step(asg, []float64{200}).TruePowerW
+			p += s.MustStep(asg, []float64{200}).TruePowerW
 		}
 		return p
 	}
@@ -129,7 +129,7 @@ func TestColocationInterferenceVisible(t *testing.T) {
 			PerService:  []Allocation{{Cores: solo.ManagedCores()[:4], FreqGHz: 2.0}},
 			IdleFreqGHz: platform.MinFreqGHz,
 		}
-		r := solo.Step(asg, []float64{0.3 * mass.MaxLoadRPS})
+		r := solo.MustStep(asg, []float64{0.3 * mass.MaxLoadRPS})
 		if i >= 10 {
 			soloLat += r.Services[0].P99Ms
 		}
@@ -146,7 +146,7 @@ func TestColocationInterferenceVisible(t *testing.T) {
 			},
 			IdleFreqGHz: platform.MinFreqGHz,
 		}
-		r := pair.Step(asg, []float64{0.3 * mass.MaxLoadRPS, 0.9 * moses.MaxLoadRPS})
+		r := pair.MustStep(asg, []float64{0.3 * mass.MaxLoadRPS, 0.9 * moses.MaxLoadRPS})
 		if i >= 10 {
 			pairLat += r.Services[0].P99Ms
 			if r.Services[0].InflationApplied <= 1 {
@@ -171,7 +171,7 @@ func TestTimeSharedCores(t *testing.T) {
 		},
 	}
 	mass := service.MustLookup("masstree")
-	r := s.Step(asg, []float64{0.5 * mass.MaxLoadRPS, 0.5 * mass.MaxLoadRPS})
+	r := s.MustStep(asg, []float64{0.5 * mass.MaxLoadRPS, 0.5 * mass.MaxLoadRPS})
 	// Each service sees 18 shared cores at 50% share ≈ 9 effective.
 	if r.Services[0].CapacityGHz >= 0.7*mass.CapacityGHz(ones(18), twos(18)) {
 		t.Fatalf("shared capacity %v should be roughly half of exclusive", r.Services[0].CapacityGHz)
@@ -183,7 +183,7 @@ func TestPMCsPopulatedAndNormalised(t *testing.T) {
 	asg := fullAlloc(s)
 	var r StepResult
 	for i := 0; i < 5; i++ {
-		r = s.Step(asg, []float64{500})
+		r = s.MustStep(asg, []float64{500})
 	}
 	sv := r.Services[0]
 	if sv.PMCs[pmc.InstructionRetired] <= 0 || sv.PMCs[pmc.UnhaltedCoreCycles] <= 0 {
@@ -198,7 +198,7 @@ func TestPMCsPopulatedAndNormalised(t *testing.T) {
 	sHi := newTestServer("xapian")
 	var rHi StepResult
 	for i := 0; i < 5; i++ {
-		rHi = sHi.Step(fullAlloc(sHi), []float64{900})
+		rHi = sHi.MustStep(fullAlloc(sHi), []float64{900})
 	}
 	if rHi.Services[0].PMCs[pmc.InstructionRetired] <= sv.PMCs[pmc.InstructionRetired] {
 		t.Fatal("instructions must grow with load")

@@ -23,7 +23,7 @@ func Example() {
 	obs := twig.InitialObservation(srv)
 	for t := 0; t < 25; t++ {
 		asg := mgr.Decide(obs)
-		res := srv.Step(asg, []float64{0.3 * prof.MaxLoadRPS})
+		res := srv.MustStep(asg, []float64{0.3 * prof.MaxLoadRPS})
 		obs = twig.ObservationFrom(srv, res)
 	}
 	fmt.Println(srv.Clock(), "intervals managed by", mgr.Name())

@@ -11,10 +11,10 @@
 //
 //	srv := twig.NewServer(twig.DefaultServerConfig(), specs)
 //	mgr := twig.NewTwigS(svcCfg, srv.ManagedCores(), srv.MaxPowerW())
-//	obs := twig.Observation{Services: ...}
+//	obs := twig.InitialObservation(srv)
 //	for t := 0; t < seconds; t++ {
 //	    asg := mgr.Decide(obs)
-//	    res := srv.Step(asg, loads)
+//	    res := srv.MustStep(asg, loads) // or Step for a validated error
 //	    obs = twig.ObservationFrom(srv, res)
 //	}
 //
@@ -27,6 +27,7 @@ import (
 	"github.com/twig-sched/twig/internal/core"
 	"github.com/twig-sched/twig/internal/ctrl"
 	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/faults"
 	"github.com/twig-sched/twig/internal/sim/loadgen"
 	"github.com/twig-sched/twig/internal/sim/platform"
 	"github.com/twig-sched/twig/internal/sim/service"
@@ -66,7 +67,38 @@ type (
 	Observation = ctrl.Observation
 	// ServiceObs is one service's slice of an Observation.
 	ServiceObs = ctrl.ServiceObs
+	// Guard wraps any Controller with observation sanitising, panic
+	// containment, action validation and a QoS circuit breaker.
+	Guard = ctrl.Guard
+	// GuardConfig tunes a Guard; GuardHealth counts its interventions.
+	GuardConfig = ctrl.GuardConfig
+	GuardHealth = ctrl.GuardHealth
 )
+
+// Fault-injection types for robustness studies: a FaultScenario armed in
+// a ServerConfig yields a deterministic, seed-reproducible schedule of
+// sensor, actuator, core and service failures (see DESIGN.md, "Fault
+// model and degraded-mode operation").
+type (
+	// FaultScenario is a declarative set of fault rates and crash cadence.
+	FaultScenario = faults.Scenario
+	// FaultEvent is one scheduled fault occurrence.
+	FaultEvent = faults.Event
+)
+
+// NewGuard wraps a controller in the resilient harness.
+func NewGuard(inner Controller, cfg GuardConfig) *Guard { return ctrl.NewGuard(inner, cfg) }
+
+// DefaultGuardConfig returns the recommended guard settings for a
+// managed core set.
+func DefaultGuardConfig(managed []int) GuardConfig { return ctrl.DefaultGuardConfig(managed) }
+
+// FaultScenarioNames lists the built-in named scenarios ("none",
+// "sensor", "actuator", "crash", "flashcrowd", "hostile").
+func FaultScenarioNames() []string { return faults.Names() }
+
+// NamedFaultScenario returns a built-in scenario by name.
+func NamedFaultScenario(name string) (FaultScenario, error) { return faults.Named(name) }
 
 // Simulated-platform types (the substrate substituting the paper's
 // testbed; see DESIGN.md §2).

@@ -29,7 +29,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	var pattern twig.LoadPattern = twig.FixedLoad(0.4 * prof.MaxLoadRPS)
 	for ts := 0; ts < 50; ts++ {
 		asg := mgr.Decide(obs)
-		res := srv.Step(asg, []float64{pattern.RPS(ts)})
+		res := srv.MustStep(asg, []float64{pattern.RPS(ts)})
 		obs = twig.ObservationFrom(srv, res)
 	}
 	if srv.Clock() != 50 {
@@ -103,5 +103,53 @@ func TestPublicStepWiseLoad(t *testing.T) {
 	d := twig.DiurnalLoad{MinRPS: 10, MaxRPS: 20, PeriodS: 100}
 	if v := d.RPS(0); v < 10 || v > 20 {
 		t.Fatal("diurnal range")
+	}
+}
+
+// TestPublicFaultsAndGuard drives the robustness surface end to end
+// through the public API: a named fault scenario armed on the server and
+// a guarded manager stepping through it.
+func TestPublicFaultsAndGuard(t *testing.T) {
+	prof, err := twig.LookupProfile("masstree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenario, err := twig.NamedFaultScenario("hostile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(twig.FaultScenarioNames()) < 4 {
+		t.Fatalf("scenarios: %v", twig.FaultScenarioNames())
+	}
+
+	cfg := twig.DefaultServerConfig()
+	cfg.Faults = &scenario
+	srv := twig.NewServer(cfg, []twig.ServiceSpec{{Profile: prof, QoSTargetMs: 5, Seed: 1}})
+	mgr := twig.NewTwigS(twig.ServiceConfig{
+		Name:        prof.Name,
+		QoSTargetMs: 5,
+		MaxLoadRPS:  prof.MaxLoadRPS,
+	}, srv.ManagedCores(), srv.MaxPowerW())
+	guarded := twig.NewGuard(mgr, twig.DefaultGuardConfig(srv.ManagedCores()))
+	if guarded.Name() != mgr.Name()+"+guard" {
+		t.Fatalf("name = %q", guarded.Name())
+	}
+
+	obs := twig.InitialObservation(srv)
+	var faultsSeen []twig.FaultEvent
+	for ts := 0; ts < 120; ts++ {
+		asg := guarded.Decide(obs)
+		res, err := srv.Step(asg, []float64{0.3 * prof.MaxLoadRPS})
+		if err != nil {
+			t.Fatalf("guarded assignment rejected at t=%d: %v", ts, err)
+		}
+		faultsSeen = append(faultsSeen, res.Faults...)
+		obs = twig.ObservationFrom(srv, res)
+	}
+	if len(faultsSeen) == 0 {
+		t.Fatal("hostile scenario injected nothing in 120 s")
+	}
+	if guarded.Health().ObsRepaired == 0 {
+		t.Fatal("guard repaired nothing under a hostile scenario")
 	}
 }
