@@ -11,12 +11,20 @@
 package twigbench
 
 import (
+	"runtime"
 	"testing"
 
+	"github.com/twig-sched/twig/internal/bdq"
 	"github.com/twig-sched/twig/internal/experiments"
+	"github.com/twig-sched/twig/internal/replay"
 	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/pmc"
 	"github.com/twig-sched/twig/internal/sim/service"
 )
+
+// The figure benches fan independent experiment cells out over all
+// available cores; results are byte-identical to serial runs.
+func init() { experiments.SetParallelism(runtime.GOMAXPROCS(0)) }
 
 // benchScale is the scaled-down profile the benches regenerate the
 // evaluation at — identical to the quick profile used by
@@ -75,13 +83,48 @@ func BenchmarkTable3OverheadGradientDescent(b *testing.B) {
 // BenchmarkTable3OverheadMonitorAndMapper measures PMC smoothing and the
 // mapper call (Table III rows 2–3).
 func BenchmarkTable3OverheadMonitorAndMapper(b *testing.B) {
-	r := experiments.Table3(2)
-	_ = r
 	for i := 0; i < b.N; i++ {
-		r = experiments.Table3(2)
+		r := experiments.Table3(2)
+		b.ReportMetric(float64(r.PMCGather.Nanoseconds()), "monitor-ns")
+		b.ReportMetric(float64(r.Mapping.Nanoseconds()), "mapper-ns")
 	}
-	b.ReportMetric(float64(r.PMCGather.Nanoseconds()), "monitor-ns")
-	b.ReportMetric(float64(r.Mapping.Nanoseconds()), "mapper-ns")
+}
+
+// BenchmarkAgentObserve measures the steady-state cost of one control
+// interval's learning work — store a transition, sample a minibatch,
+// forward/backward the paper-size network and apply Adam — the loop that
+// must fit inside Twig's one-second budget (Table III row 1).
+func BenchmarkAgentObserve(b *testing.B) {
+	sc := experiments.PaperScale()
+	spec := bdq.Spec{
+		StateDim:     2 * int(pmc.NumCounters),
+		Agents:       2,
+		Dims:         []int{18, 9},
+		SharedHidden: sc.SharedHidden,
+		BranchHidden: sc.BranchHidden,
+		Dropout:      sc.Dropout,
+	}
+	agent := bdq.NewAgent(bdq.AgentConfig{
+		Spec:      spec,
+		BatchSize: sc.BatchSize,
+		UsePER:    true,
+		Seed:      1,
+	})
+	state := make([]float64, spec.StateDim)
+	next := make([]float64, spec.StateDim)
+	for i := range state {
+		state[i] = 0.3
+		next[i] = 0.31
+	}
+	t := replay.Transition{State: state, Actions: []int{3, 4, 5, 6}, Rewards: []float64{1, 1}, NextState: next}
+	for i := 0; i < 2*sc.BatchSize; i++ {
+		agent.Observe(t)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Observe(t)
+	}
 }
 
 // BenchmarkFig5TwigS regenerates Fig. 5 for one service across the three

@@ -3,8 +3,11 @@
 //
 // Usage:
 //
-//	twig-experiments -experiment fig5 [-scale quick|paper] [-seed 1]
+//	twig-experiments -experiment fig5 [-scale quick|paper] [-seed 1] [-parallel N]
 //	twig-experiments -experiment all
+//
+// -parallel fans independent experiment cells out over N workers
+// (default GOMAXPROCS); results are byte-identical at any setting.
 //
 // Experiment ids: fig1, table1, fig4, table2, table3, fig5, fig6, fig7,
 // figmem, fig8, fig9, fig10, fig11, fig12, fig13, figfault, ablations.
@@ -14,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/twig-sched/twig/internal/experiments"
@@ -22,11 +26,13 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("experiment", "all", "experiment id (fig1..fig13, table1..table3, figmem, ablations, all)")
-		scale = flag.String("scale", "quick", "experiment scale: quick or paper")
-		seed  = flag.Int64("seed", 1, "random seed")
+		exp      = flag.String("experiment", "all", "experiment id (fig1..fig13, table1..table3, figmem, ablations, all)")
+		scale    = flag.String("scale", "quick", "experiment scale: quick or paper")
+		seed     = flag.Int64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent experiment cells (results are identical at any setting)")
 	)
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 
 	var sc experiments.Scale
 	switch *scale {

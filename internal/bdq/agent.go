@@ -125,6 +125,49 @@ type Agent struct {
 
 	step       int // environment steps (action selections)
 	trainSteps int // gradient updates
+
+	greedyState *mat.Matrix // reusable 1×StateDim input for greedy/QValues
+	train       *trainWS    // reusable TrainStep scratch (BatchSize rows)
+}
+
+// trainWS is the per-agent TrainStep scratch. BatchSize is constant for
+// an agent's lifetime, so one lazily built set of buffers makes every
+// steady-state training step allocation-free.
+type trainWS struct {
+	batch  replay.Batch
+	states *mat.Matrix
+	next   *mat.Matrix
+	argmax [][][]int     // [K][D][batch] online-net action selections on s′
+	y      [][]float64   // [K][batch] bootstrap targets
+	gradQ  [][]*mat.Matrix
+	tdErr  []float64
+}
+
+func (a *Agent) trainWorkspace() *trainWS {
+	if a.train != nil {
+		return a.train
+	}
+	spec := a.cfg.Spec
+	K, D, n := spec.Agents, len(spec.Dims), a.cfg.BatchSize
+	ws := &trainWS{
+		states: mat.New(n, spec.StateDim),
+		next:   mat.New(n, spec.StateDim),
+		argmax: make([][][]int, K),
+		y:      make([][]float64, K),
+		gradQ:  make([][]*mat.Matrix, K),
+		tdErr:  make([]float64, n),
+	}
+	for k := 0; k < K; k++ {
+		ws.argmax[k] = make([][]int, D)
+		ws.gradQ[k] = make([]*mat.Matrix, D)
+		ws.y[k] = make([]float64, n)
+		for d := 0; d < D; d++ {
+			ws.argmax[k][d] = make([]int, n)
+			ws.gradQ[k][d] = mat.New(n, spec.Dims[d])
+		}
+	}
+	a.train = ws
+	return ws
 }
 
 // NewAgent constructs an agent; cfg is completed with Defaults first.
@@ -179,19 +222,26 @@ func (a *Agent) SelectActions(state []float64) [][]int {
 // the step counter (used after the learning phase, per Sec. V).
 func (a *Agent) SelectGreedy(state []float64) [][]int { return a.greedy(state) }
 
-func (a *Agent) greedy(state []float64) [][]int {
+// stateInput copies state into the agent's reusable 1×StateDim matrix.
+func (a *Agent) stateInput(state []float64) *mat.Matrix {
 	if len(state) != a.cfg.Spec.StateDim {
 		panic(fmt.Sprintf("bdq: state dim %d != %d", len(state), a.cfg.Spec.StateDim))
 	}
-	x := mat.FromSlice(1, len(state), mat.Clone(state))
-	return a.online.Forward(x, false).GreedyActions()
+	if a.greedyState == nil {
+		a.greedyState = mat.New(1, a.cfg.Spec.StateDim)
+	}
+	copy(a.greedyState.Data, state)
+	return a.greedyState
+}
+
+func (a *Agent) greedy(state []float64) [][]int {
+	return a.online.Forward(a.stateInput(state), false).GreedyActions()
 }
 
 // QValues returns the online network's Q-values for a single state:
 // out[agent][dim][action]. Useful for analysis and debugging.
 func (a *Agent) QValues(state []float64) [][][]float64 {
-	x := mat.FromSlice(1, len(state), mat.Clone(state))
-	out := a.online.Forward(x, false)
+	out := a.online.Forward(a.stateInput(state), false)
 	qs := make([][][]float64, len(out.Q))
 	for k := range out.Q {
 		qs[k] = make([][]float64, len(out.Q[k]))
@@ -229,11 +279,12 @@ func (a *Agent) Observe(t replay.Transition) float64 {
 func (a *Agent) TrainStep() float64 {
 	spec := a.cfg.Spec
 	K, D := spec.Agents, len(spec.Dims)
-	batch := a.buffer.Sample(a.cfg.BatchSize, a.rng)
+	ws := a.trainWorkspace()
+	a.buffer.SampleInto(&ws.batch, a.cfg.BatchSize, a.rng)
+	batch := &ws.batch
 	n := len(batch.Transitions)
 
-	states := mat.New(n, spec.StateDim)
-	next := mat.New(n, spec.StateDim)
+	states, next := ws.states, ws.next
 	for i, t := range batch.Transitions {
 		copy(states.Row(i), t.State)
 		copy(next.Row(i), t.NextState)
@@ -242,11 +293,9 @@ func (a *Agent) TrainStep() float64 {
 	// Action selection on s′ with the online net, evaluation with the
 	// target net.
 	onlineNext := a.online.Forward(next, false)
-	argmax := make([][][]int, K)
+	argmax := ws.argmax
 	for k := 0; k < K; k++ {
-		argmax[k] = make([][]int, D)
 		for d := 0; d < D; d++ {
-			argmax[k][d] = make([]int, n)
 			for b := 0; b < n; b++ {
 				argmax[k][d][b] = mat.Argmax(onlineNext.Q[k][d].Row(b))
 			}
@@ -255,9 +304,8 @@ func (a *Agent) TrainStep() float64 {
 	targetNext := a.target.Forward(next, false)
 
 	// y[k][b]: bootstrap value per agent.
-	y := make([][]float64, K)
+	y := ws.y
 	for k := 0; k < K; k++ {
-		y[k] = make([]float64, n)
 		for b := 0; b < n; b++ {
 			t := batch.Transitions[b]
 			if t.Done {
@@ -277,16 +325,21 @@ func (a *Agent) TrainStep() float64 {
 
 	// Forward the current states in training mode and build the
 	// gradient: only the taken action of each branch receives error.
+	// Note this second online forward overwrites onlineNext (both use the
+	// network's batch-n Output workspace); argmax was extracted above.
 	a.online.ZeroGrad()
 	out := a.online.Forward(states, true)
-	gradQ := make([][]*mat.Matrix, K)
+	gradQ := ws.gradQ
 	var loss float64
-	tdErr := make([]float64, n)
+	tdErr := ws.tdErr
+	for b := range tdErr {
+		tdErr[b] = 0
+	}
 	denom := float64(n * K * D)
 	for k := 0; k < K; k++ {
-		gradQ[k] = make([]*mat.Matrix, D)
 		for d := 0; d < D; d++ {
-			g := mat.New(n, spec.Dims[d])
+			g := gradQ[k][d]
+			g.Zero()
 			for b := 0; b < n; b++ {
 				act := batch.Transitions[b].Actions[k*D+d]
 				target := y[k][b]
@@ -304,7 +357,6 @@ func (a *Agent) TrainStep() float64 {
 					tdErr[b] += diff / float64(K*D)
 				}
 			}
-			gradQ[k][d] = g
 		}
 	}
 	a.online.Backward(gradQ)

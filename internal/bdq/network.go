@@ -81,6 +81,12 @@ type Network struct {
 	lastShared *mat.Matrix
 	lastAdvHid []*mat.Matrix
 
+	// reusable per-batch-size workspaces; see Forward's ownership note.
+	fwd map[int]*fwdWS
+	bwd map[int]*bwdWS
+
+	params []*nn.Param // cached Params() result; layer set is immutable
+
 	// noRescale disables the 1/K and 1/D gradient rescaling so tests
 	// can compare Backward against exact finite differences.
 	noRescale bool
@@ -90,6 +96,21 @@ type Network struct {
 // Q[k][d] is batch×Dims[d].
 type Output struct {
 	Q [][]*mat.Matrix
+}
+
+// fwdWS holds the Forward outputs for one batch size.
+type fwdWS struct {
+	out   *Output
+	means []float64 // per-row advantage means
+}
+
+// bwdWS holds the Backward scratch for one batch size.
+type bwdWS struct {
+	sharedGrad *mat.Matrix   // batch×repr gradient entering the trunk
+	gv         *mat.Matrix   // batch×1 value-stream gradient
+	combined   *mat.Matrix   // batch×BranchHidden, summed over agents
+	centered   []*mat.Matrix // per dimension: batch×Dims[d]
+	means      []float64
 }
 
 // NewNetwork builds a network with He-initialised weights drawn from rng.
@@ -141,17 +162,48 @@ func NewNetwork(spec Spec, rng *rand.Rand) *Network {
 // Spec returns the architecture description.
 func (n *Network) Spec() Spec { return n.spec }
 
+// fwdWorkspace returns the reusable Output (and row-mean scratch) for
+// the given batch size, building it on first use.
+func (n *Network) fwdWorkspace(batch int) *fwdWS {
+	if ws := n.fwd[batch]; ws != nil {
+		return ws
+	}
+	if n.fwd == nil {
+		n.fwd = make(map[int]*fwdWS, 2)
+	}
+	ws := &fwdWS{
+		out:   &Output{Q: make([][]*mat.Matrix, n.spec.Agents)},
+		means: make([]float64, batch),
+	}
+	for k := range ws.out.Q {
+		ws.out.Q[k] = make([]*mat.Matrix, len(n.spec.Dims))
+		for d, na := range n.spec.Dims {
+			ws.out.Q[k][d] = mat.New(batch, na)
+		}
+	}
+	n.fwd[batch] = ws
+	return ws
+}
+
 // Forward computes Q-values for a batch of states (rows = samples,
 // columns = StateDim). The dueling aggregation subtracts the per-row mean
 // advantage so V is identifiable: Q = V + A − mean(A).
+//
+// The returned Output is a workspace owned by the network, keyed by
+// batch size: it is overwritten by the network's next Forward call with
+// the same batch size. Callers that need Q-values to survive longer must
+// clone them (see Agent.QValues).
 func (n *Network) Forward(states *mat.Matrix, train bool) *Output {
 	z := n.shared.Forward(states, train)
 	n.lastShared = z
-	n.lastAdvHid = make([]*mat.Matrix, len(n.spec.Dims))
+	if n.lastAdvHid == nil {
+		n.lastAdvHid = make([]*mat.Matrix, len(n.spec.Dims))
+	}
 	for d := range n.spec.Dims {
 		n.lastAdvHid[d] = n.advHidden[d].Forward(z, train)
 	}
-	out := &Output{Q: make([][]*mat.Matrix, n.spec.Agents)}
+	ws := n.fwdWorkspace(states.Rows)
+	out := ws.out
 	// With SharedValue every agent reads the same V(s); forward it once.
 	var sharedV *mat.Matrix
 	if n.spec.SharedValue {
@@ -162,20 +214,18 @@ func (n *Network) Forward(states *mat.Matrix, train bool) *Output {
 		if v == nil {
 			v = n.values[k].Forward(z, train) // batch×1
 		}
-		out.Q[k] = make([]*mat.Matrix, len(n.spec.Dims))
 		for d := range n.spec.Dims {
 			a := n.advOut[k][d].Forward(n.lastAdvHid[d], train)
-			q := mat.New(a.Rows, a.Cols)
-			means := a.RowMeans()
+			q := out.Q[k][d]
+			a.RowMeansInto(ws.means)
 			for b := 0; b < a.Rows; b++ {
 				vb := v.At(b, 0)
 				arow := a.Row(b)
 				qrow := q.Row(b)
 				for j := range qrow {
-					qrow[j] = vb + arow[j] - means[b]
+					qrow[j] = vb + arow[j] - ws.means[b]
 				}
 			}
-			out.Q[k][d] = q
 		}
 	}
 	return out
@@ -190,8 +240,9 @@ func (n *Network) Backward(gradQ [][]*mat.Matrix) {
 		panic("bdq: Backward before Forward")
 	}
 	batch := n.lastShared.Rows
-	repr := n.lastShared.Cols
-	sharedGrad := mat.New(batch, repr)
+	ws := n.bwdWorkspace(batch, n.lastShared.Cols)
+	sharedGrad := ws.sharedGrad
+	sharedGrad.Zero()
 	K := float64(n.spec.Agents)
 	D := float64(len(n.spec.Dims))
 	if n.noRescale {
@@ -202,7 +253,8 @@ func (n *Network) Backward(gradQ [][]*mat.Matrix) {
 	// dimension, so dV[b] = Σ_d Σ_a gradQ[k][d][b][a]. With SharedValue
 	// the single stream accumulates every agent's gradient.
 	if n.spec.SharedValue {
-		gv := mat.New(batch, 1)
+		gv := ws.gv
+		gv.Zero()
 		for k := 0; k < n.spec.Agents; k++ {
 			for d := range n.spec.Dims {
 				g := gradQ[k][d]
@@ -215,7 +267,8 @@ func (n *Network) Backward(gradQ [][]*mat.Matrix) {
 		mat.Add(sharedGrad, sharedGrad, gIn)
 	} else {
 		for k := 0; k < n.spec.Agents; k++ {
-			gv := mat.New(batch, 1)
+			gv := ws.gv
+			gv.Zero()
 			for d := range n.spec.Dims {
 				g := gradQ[k][d]
 				for b := 0; b < batch; b++ {
@@ -232,16 +285,17 @@ func (n *Network) Backward(gradQ [][]*mat.Matrix) {
 	// K per-agent output heads is rescaled by 1/K before entering the
 	// deepest (hidden) advantage layer.
 	for d := range n.spec.Dims {
-		combined := mat.New(batch, n.spec.BranchHidden)
+		combined := ws.combined
+		combined.Zero()
 		for k := 0; k < n.spec.Agents; k++ {
 			g := gradQ[k][d]
-			centered := mat.New(g.Rows, g.Cols)
-			means := g.RowMeans()
+			centered := ws.centered[d]
+			g.RowMeansInto(ws.means)
 			for b := 0; b < g.Rows; b++ {
 				grow := g.Row(b)
 				crow := centered.Row(b)
 				for j := range crow {
-					crow[j] = grow[j] - means[b]
+					crow[j] = grow[j] - ws.means[b]
 				}
 			}
 			gHid := n.advOut[k][d].Backward(centered)
@@ -256,9 +310,38 @@ func (n *Network) Backward(gradQ [][]*mat.Matrix) {
 	n.shared.Backward(sharedGrad)
 }
 
+// bwdWorkspace returns the reusable Backward scratch for the given batch
+// size, building it on first use.
+func (n *Network) bwdWorkspace(batch, repr int) *bwdWS {
+	if ws := n.bwd[batch]; ws != nil {
+		return ws
+	}
+	if n.bwd == nil {
+		n.bwd = make(map[int]*bwdWS, 2)
+	}
+	ws := &bwdWS{
+		sharedGrad: mat.New(batch, repr),
+		gv:         mat.New(batch, 1),
+		combined:   mat.New(batch, n.spec.BranchHidden),
+		centered:   make([]*mat.Matrix, len(n.spec.Dims)),
+		means:      make([]float64, batch),
+	}
+	for d, na := range n.spec.Dims {
+		ws.centered[d] = mat.New(batch, na)
+	}
+	n.bwd[batch] = ws
+	return ws
+}
+
 // Params returns all learnable parameters in a deterministic order
 // (shared trunk, value streams, advantage hiddens, advantage heads).
+// The slice is cached — the network's layer set never changes — so hot
+// paths (ZeroGrad, the optimiser step) don't rebuild it. Callers must
+// not append to or reorder the returned slice.
 func (n *Network) Params() []*nn.Param {
+	if n.params != nil {
+		return n.params
+	}
 	ps := n.shared.Params()
 	for _, v := range n.values {
 		ps = append(ps, v.Params()...)
@@ -271,6 +354,7 @@ func (n *Network) Params() []*nn.Param {
 			ps = append(ps, o.Params()...)
 		}
 	}
+	n.params = ps
 	return ps
 }
 

@@ -27,6 +27,23 @@ type AblationResult struct {
 	Cells []AblationCell
 }
 
+// ablationVariant names one config mutation of an ablation study.
+type ablationVariant struct {
+	Label  string
+	Mutate func(*core.Config)
+}
+
+// runAblationVariants runs every variant as an independent cell on the
+// experiments worker pool; each writes to its own slot so results are
+// byte-identical to a serial sweep.
+func runAblationVariants(sc Scale, seed int64, vs []ablationVariant) []AblationCell {
+	cells := make([]AblationCell, len(vs))
+	forEachCell(len(vs), func(i int) {
+		cells[i] = runAblationVariant(sc, seed, vs[i].Label, vs[i].Mutate)
+	})
+	return cells
+}
+
 // runAblationVariant runs Twig-S with a config mutator applied.
 func runAblationVariant(sc Scale, seed int64, variant string, mutate func(*core.Config)) AblationCell {
 	const svcName = "masstree"
@@ -54,36 +71,36 @@ func runAblationVariant(sc Scale, seed int64, variant string, mutate func(*core.
 func AblationReplay(sc Scale, seed int64) AblationResult {
 	return AblationResult{
 		Name: "prioritised vs uniform replay",
-		Cells: []AblationCell{
-			runAblationVariant(sc, seed, "PER", func(c *core.Config) {}),
-			runAblationVariant(sc, seed, "uniform", func(c *core.Config) { c.Agent.UsePER = false }),
-		},
+		Cells: runAblationVariants(sc, seed, []ablationVariant{
+			{"PER", func(c *core.Config) {}},
+			{"uniform", func(c *core.Config) { c.Agent.UsePER = false }},
+		}),
 	}
 }
 
 // AblationEta compares the PMC smoothing window η ∈ {1, 5, 10}. The
 // paper found η = 5 best.
 func AblationEta(sc Scale, seed int64) AblationResult {
-	res := AblationResult{Name: "PMC smoothing window η"}
+	var vs []ablationVariant
 	for _, eta := range []int{1, 5, 10} {
 		e := eta
-		res.Cells = append(res.Cells, runAblationVariant(sc, seed,
-			fmt.Sprintf("eta=%d", e), func(c *core.Config) { c.Eta = e }))
+		vs = append(vs, ablationVariant{
+			fmt.Sprintf("eta=%d", e), func(c *core.Config) { c.Eta = e }})
 	}
-	return res
+	return AblationResult{Name: "PMC smoothing window η", Cells: runAblationVariants(sc, seed, vs)}
 }
 
 // AblationReward compares the power-reward weight θ ∈ {0, 0.5, 2}. With
 // θ = 0 Twig has no incentive to save energy; with a large θ it risks
 // QoS.
 func AblationReward(sc Scale, seed int64) AblationResult {
-	res := AblationResult{Name: "power-reward weight θ"}
+	var vs []ablationVariant
 	for _, theta := range []float64{0, 0.5, 2} {
 		th := theta
-		res.Cells = append(res.Cells, runAblationVariant(sc, seed,
-			fmt.Sprintf("theta=%.1f", th), func(c *core.Config) { c.Reward.Theta = th }))
+		vs = append(vs, ablationVariant{
+			fmt.Sprintf("theta=%.1f", th), func(c *core.Config) { c.Reward.Theta = th }})
 	}
-	return res
+	return AblationResult{Name: "power-reward weight θ", Cells: runAblationVariants(sc, seed, vs)}
 }
 
 // AblationMultiAgentValue ablates the paper's multi-agent contribution:
@@ -114,12 +131,20 @@ func AblationMultiAgentValue(sc Scale, seed int64) AblationResult {
 			Migrations:   sum.Migrations,
 		}
 	}
+	variants := []struct {
+		shared bool
+		label  string
+	}{
+		{false, "per-agent V"},
+		{true, "shared V"},
+	}
+	cells := make([]AblationCell, len(variants))
+	forEachCell(len(variants), func(i int) {
+		cells[i] = run(variants[i].shared, variants[i].label)
+	})
 	return AblationResult{
-		Name: "per-agent vs shared state value (Twig-C)",
-		Cells: []AblationCell{
-			run(false, "per-agent V"),
-			run(true, "shared V"),
-		},
+		Name:  "per-agent vs shared state value (Twig-C)",
+		Cells: cells,
 	}
 }
 
@@ -128,14 +153,14 @@ func AblationMultiAgentValue(sc Scale, seed int64) AblationResult {
 func AblationTargetMode(sc Scale, seed int64) AblationResult {
 	return AblationResult{
 		Name: "TD target aggregation",
-		Cells: []AblationCell{
-			runAblationVariant(sc, seed, "mean-branches", func(c *core.Config) {
+		Cells: runAblationVariants(sc, seed, []ablationVariant{
+			{"mean-branches", func(c *core.Config) {
 				c.Agent.TargetMode = bdq.TargetMeanBranches
-			}),
-			runAblationVariant(sc, seed, "per-branch", func(c *core.Config) {
+			}},
+			{"per-branch", func(c *core.Config) {
 				c.Agent.TargetMode = bdq.TargetPerBranch
-			}),
-		},
+			}},
+		}),
 	}
 }
 

@@ -32,52 +32,76 @@ type Fig13Result struct {
 var Fig13Managers = []string{"static", "parties", "twig-c"}
 
 // Fig13 runs the comparison over the given pairs (all six Tailbench
-// pairs in the paper; tests and benches may pass a subset).
+// pairs in the paper; tests and benches may pass a subset). Cells fan
+// out over the experiments worker pool like Fig5, with the same
+// byte-identical-to-serial guarantee; normalisation against the static
+// cell of each (pair, load) group is a serial post-pass.
 func Fig13(pairs [][2]string, sc Scale, seed int64) Fig13Result {
-	res := Fig13Result{Scale: sc.Name}
-	total := sc.LearnS + 2*sc.SummaryS // PARTIES summarised over 600 s
 	for _, pair := range pairs {
-		frac := PairMaxFraction(pair[0], pair[1])
-		a := service.MustLookup(pair[0])
-		b := service.MustLookup(pair[1])
+		QoSTarget(pair[0])
+		QoSTarget(pair[1])
+	}
+	type job struct {
+		pair [2]string
+		lf   float64
+		mgr  string
+	}
+	var jobs []job
+	for _, pair := range pairs {
 		for _, lf := range []float64{0.2, 0.5, 0.8} {
-			var staticEnergy float64
 			for _, mgr := range Fig13Managers {
-				srv := NewServer(seed, pair[0], pair[1])
-				var c ctrl.Controller
-				switch mgr {
-				case "static":
-					c = baselines.NewStatic(srv.ManagedCores(), 2)
-				case "parties":
-					c = baselines.NewParties(baselines.DefaultPartiesConfig(), srv.ManagedCores(), 2)
-				case "twig-c":
-					c = NewTwig(srv, sc, seed, pair[0], pair[1])
-				}
-				sum := Run(RunConfig{
-					Server:     srv,
-					Controller: c,
-					Patterns: []loadgen.Pattern{
-						loadgen.Fixed(lf * frac * a.MaxLoadRPS),
-						loadgen.Fixed(lf * frac * b.MaxLoadRPS),
-					},
-					Seconds:      total,
-					SummaryFromS: sc.LearnS,
-				})
-				if mgr == "static" {
-					staticEnergy = sum.EnergyJ
-				}
-				res.Cells = append(res.Cells, Fig13Cell{
-					PairA: pair[0], PairB: pair[1],
-					LoadFrac:     lf,
-					Manager:      mgr,
-					QoSGuarantee: [2]float64{sum.QoSGuarantee[0], sum.QoSGuarantee[1]},
-					EnergyNorm:   sum.EnergyJ / staticEnergy,
-					Migrations:   sum.Migrations,
-				})
+				jobs = append(jobs, job{pair, lf, mgr})
 			}
 		}
 	}
-	return res
+	total := sc.LearnS + 2*sc.SummaryS // PARTIES summarised over 600 s
+	cells := make([]Fig13Cell, len(jobs))
+	energy := make([]float64, len(jobs))
+	forEachCell(len(jobs), func(i int) {
+		j := jobs[i]
+		frac := PairMaxFraction(j.pair[0], j.pair[1])
+		a := service.MustLookup(j.pair[0])
+		b := service.MustLookup(j.pair[1])
+		srv := NewServer(seed, j.pair[0], j.pair[1])
+		var c ctrl.Controller
+		switch j.mgr {
+		case "static":
+			c = baselines.NewStatic(srv.ManagedCores(), 2)
+		case "parties":
+			c = baselines.NewParties(baselines.DefaultPartiesConfig(), srv.ManagedCores(), 2)
+		case "twig-c":
+			c = NewTwig(srv, sc, seed, j.pair[0], j.pair[1])
+		}
+		sum := Run(RunConfig{
+			Server:     srv,
+			Controller: c,
+			Patterns: []loadgen.Pattern{
+				loadgen.Fixed(j.lf * frac * a.MaxLoadRPS),
+				loadgen.Fixed(j.lf * frac * b.MaxLoadRPS),
+			},
+			Seconds:      total,
+			SummaryFromS: sc.LearnS,
+		})
+		energy[i] = sum.EnergyJ
+		cells[i] = Fig13Cell{
+			PairA: j.pair[0], PairB: j.pair[1],
+			LoadFrac:     j.lf,
+			Manager:      j.mgr,
+			QoSGuarantee: [2]float64{sum.QoSGuarantee[0], sum.QoSGuarantee[1]},
+			Migrations:   sum.Migrations,
+		}
+	})
+	group := len(Fig13Managers)
+	for i := range cells {
+		base := i - i%group
+		for k := base; k < base+group; k++ {
+			if jobs[k].mgr == "static" {
+				cells[i].EnergyNorm = energy[i] / energy[k]
+				break
+			}
+		}
+	}
+	return Fig13Result{Scale: sc.Name, Cells: cells}
 }
 
 // AvgEnergyNorm averages one manager's normalised energy over all cells.

@@ -55,41 +55,68 @@ func newSingleManager(name string, srv *sim.Server, sc Scale, seed int64, svcNam
 }
 
 // Fig5 runs the comparison for the given services (Table II's four by
-// default) at 20/50/80% load.
+// default) at 20/50/80% load. Independent (service, load, manager) cells
+// fan out over the experiments worker pool (SetParallelism); each cell
+// owns its server and controller and writes to its own result slot, so
+// the outcome is byte-identical to a serial run. Energy normalisation
+// against the static cell of the same (service, load) group happens in a
+// serial post-pass once all cells are in.
 func Fig5(services []string, sc Scale, seed int64) Fig5Result {
-	res := Fig5Result{Scale: sc.Name}
-	total := sc.LearnS + sc.SummaryS
+	// QoS calibration is cached per service; warm the cache serially so
+	// concurrent cells don't calibrate the same service twice.
 	for _, svcName := range services {
-		prof := service.MustLookup(svcName)
+		QoSTarget(svcName)
+	}
+	type job struct {
+		svc string
+		lf  float64
+		mgr string
+	}
+	var jobs []job
+	for _, svcName := range services {
 		for _, lf := range []float64{0.2, 0.5, 0.8} {
-			var staticEnergy float64
 			for _, mgr := range Fig5Managers {
-				srv := NewServer(seed, svcName)
-				c := newSingleManager(mgr, srv, sc, seed, svcName)
-				sum := Run(RunConfig{
-					Server:       srv,
-					Controller:   c,
-					Patterns:     []loadgen.Pattern{loadgen.Fixed(lf * prof.MaxLoadRPS)},
-					Seconds:      total,
-					SummaryFromS: sc.LearnS,
-				})
-				if mgr == "static" {
-					staticEnergy = sum.EnergyJ
-				}
-				res.Cells = append(res.Cells, Fig5Cell{
-					Service:      svcName,
-					LoadFrac:     lf,
-					Manager:      mgr,
-					QoSGuarantee: sum.QoSGuarantee[0],
-					EnergyNorm:   sum.EnergyJ / staticEnergy,
-					AvgCores:     sum.AvgCores[0],
-					AvgFreqGHz:   sum.AvgFreqGHz[0],
-					Migrations:   sum.Migrations,
-				})
+				jobs = append(jobs, job{svcName, lf, mgr})
 			}
 		}
 	}
-	return res
+	total := sc.LearnS + sc.SummaryS
+	cells := make([]Fig5Cell, len(jobs))
+	energy := make([]float64, len(jobs))
+	forEachCell(len(jobs), func(i int) {
+		j := jobs[i]
+		prof := service.MustLookup(j.svc)
+		srv := NewServer(seed, j.svc)
+		c := newSingleManager(j.mgr, srv, sc, seed, j.svc)
+		sum := Run(RunConfig{
+			Server:       srv,
+			Controller:   c,
+			Patterns:     []loadgen.Pattern{loadgen.Fixed(j.lf * prof.MaxLoadRPS)},
+			Seconds:      total,
+			SummaryFromS: sc.LearnS,
+		})
+		energy[i] = sum.EnergyJ
+		cells[i] = Fig5Cell{
+			Service:      j.svc,
+			LoadFrac:     j.lf,
+			Manager:      j.mgr,
+			QoSGuarantee: sum.QoSGuarantee[0],
+			AvgCores:     sum.AvgCores[0],
+			AvgFreqGHz:   sum.AvgFreqGHz[0],
+			Migrations:   sum.Migrations,
+		}
+	})
+	group := len(Fig5Managers)
+	for i := range cells {
+		base := i - i%group
+		for k := base; k < base+group; k++ {
+			if jobs[k].mgr == "static" {
+				cells[i].EnergyNorm = energy[i] / energy[k]
+				break
+			}
+		}
+	}
+	return Fig5Result{Scale: sc.Name, Cells: cells}
 }
 
 // AvgEnergyNorm returns the mean normalised energy of one manager across

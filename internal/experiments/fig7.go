@@ -39,7 +39,12 @@ func Fig7(sc Scale, seed int64) Fig7Result {
 		Curves:      map[string][]float64{},
 		CrossedAt80: map[string]int{},
 	}
-	for _, mgr := range []string{"hipster", "twig-s"} {
+	managers := []string{"hipster", "twig-s"}
+	curves := make([][]float64, len(managers))
+	crossedAt := make([]int, len(managers))
+	QoSTarget(svcName)
+	forEachCell(len(managers), func(mi int) {
+		mgr := managers[mi]
 		srv := NewServer(seed, svcName)
 		c := newSingleManager(mgr, srv, sc, seed, svcName)
 		met := make([]int, 0, total/bucket+1)
@@ -71,8 +76,12 @@ func Fig7(sc Scale, seed int64) Fig7Result {
 				crossed = i
 			}
 		}
-		res.Curves[mgr] = curve
-		res.CrossedAt80[mgr] = crossed
+		curves[mi] = curve
+		crossedAt[mi] = crossed
+	})
+	for mi, mgr := range managers {
+		res.Curves[mgr] = curves[mi]
+		res.CrossedAt80[mgr] = crossedAt[mi]
 	}
 	return res
 }

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/mat"
+)
+
+// TestParallelCellsByteIdentical verifies the concurrent experiment
+// runner's core guarantee: fanning cells out over workers produces
+// exactly the result of a serial sweep, because every cell owns its
+// server, controller and RNG chain and writes to an index-fixed slot.
+func TestParallelCellsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := tinyScale()
+	old := Parallelism()
+	defer SetParallelism(old)
+
+	SetParallelism(1)
+	serialFig5 := Fig5([]string{"masstree"}, sc, 7)
+	serialAbl := AblationReplay(sc, 7)
+	SetParallelism(4)
+	parallelFig5 := Fig5([]string{"masstree"}, sc, 7)
+	parallelAbl := AblationReplay(sc, 7)
+
+	if !reflect.DeepEqual(serialFig5, parallelFig5) {
+		t.Fatalf("Fig5 differs between serial and parallel runs:\nserial:   %+v\nparallel: %+v",
+			serialFig5, parallelFig5)
+	}
+	if !reflect.DeepEqual(serialAbl, parallelAbl) {
+		t.Fatalf("AblationReplay differs between serial and parallel runs:\nserial:   %+v\nparallel: %+v",
+			serialAbl, parallelAbl)
+	}
+}
+
+// TestParallelGEMMInsideRun exercises the full control loop with the
+// parallel matrix kernels enabled and checks the summary matches the
+// serial-GEMM run exactly (the kernels are bit-identical by design).
+func TestParallelGEMMInsideRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := tinyScale()
+	oldMat := mat.Parallelism()
+	defer mat.SetParallelism(oldMat)
+
+	mat.SetParallelism(1)
+	serial := Fig7(sc, 5)
+	mat.SetParallelism(4)
+	parallel := Fig7(sc, 5)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("Fig7 differs between serial and parallel GEMM:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+func TestForEachCellCoversAllIndices(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+	for _, w := range []int{1, 3, 16} {
+		SetParallelism(w)
+		const n = 37
+		seen := make([]int, n)
+		forEachCell(n, func(i int) { seen[i]++ })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("parallelism %d: index %d visited %d times", w, i, c)
+			}
+		}
+	}
+	forEachCell(0, func(int) { t.Fatal("fn called for n=0") })
+}

@@ -89,10 +89,10 @@ func Run(cfg RunConfig) Summary {
 		AvgFreqGHz:    make([]float64, k),
 	}
 
-	obs := initialObservation(srv)
+	obs := ctrl.InitialObservation(srv)
 	var prevAsg sim.Assignment
 	samples := 0
-	prevQueue := make([]int, k)
+	var tracker ctrl.ObservationTracker
 
 	// lastValid is the most recent assignment the simulator accepted; it
 	// stands in when the controller panics or emits a malformed decision,
@@ -136,18 +136,9 @@ func Run(cfg RunConfig) Summary {
 			}
 		}
 
-		obs = ctrl.Observation{Time: t + 1, PowerW: res.PowerW}
+		obs = tracker.Observe(srv, res)
 		for i, sv := range res.Services {
-			so := ctrl.ServiceObs{
-				P99Ms:        sv.P99Ms,
-				QoSTargetMs:  sv.QoSTargetMs,
-				MeasuredRPS:  float64(sv.Completed),
-				MaxLoadRPS:   srv.Spec(i).Profile.MaxLoadRPS,
-				NormPMCs:     sv.NormPMCs,
-				QueueGrowing: sv.QueueLen > prevQueue[i],
-			}
-			prevQueue[i] = sv.QueueLen
-			obs.Services = append(obs.Services, so)
+			so := obs.Services[i]
 
 			if inWindow {
 				tard := so.Tardiness()
@@ -202,19 +193,6 @@ func safeAssignment(srv *sim.Server) sim.Assignment {
 		asg.PerService[i] = sim.Allocation{Cores: srv.ManagedCores(), FreqGHz: platform.MaxFreqGHz}
 	}
 	return asg
-}
-
-// initialObservation bootstraps the loop before any measurement exists.
-func initialObservation(srv *sim.Server) ctrl.Observation {
-	obs := ctrl.Observation{}
-	for i := 0; i < srv.NumServices(); i++ {
-		spec := srv.Spec(i)
-		obs.Services = append(obs.Services, ctrl.ServiceObs{
-			QoSTargetMs: spec.QoSTargetMs,
-			MaxLoadRPS:  spec.Profile.MaxLoadRPS,
-		})
-	}
-	return obs
 }
 
 func sameCoreSet(a, b []int) bool {

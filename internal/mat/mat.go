@@ -94,33 +94,37 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 	copy(m.Data, src.Data)
 }
 
-// Mul computes dst = a·b. dst must be a.Rows×b.Cols and may not alias a or b.
+// Mul computes dst = a·b. dst must be a.Rows×b.Cols and may not alias a
+// or b. Large products fan out across goroutines (see SetParallelism),
+// partitioned by destination row so the result is bit-identical to
+// serial execution.
 func Mul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: Mul dims (%dx%d)·(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
+	flops := a.Rows * a.Cols * b.Cols
+	if useParallel(a.Rows, flops) {
+		parallelRows(a.Rows, func(r0, r1 int) { mulRange(dst, a, b, r0, r1) })
+	} else {
+		mulRange(dst, a, b, 0, a.Rows)
 	}
 }
 
-// MulTransA computes dst = aᵀ·b. dst must be a.Cols×b.Cols.
+// MulTransA computes dst = aᵀ·b. dst must be a.Cols×b.Cols. Large
+// products fan out across goroutines with bit-identical results.
 func MulTransA(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic("mat: MulTransA dimension mismatch")
 	}
+	flops := a.Rows * a.Cols * b.Cols
+	if useParallel(a.Cols, flops) {
+		parallelRows(a.Cols, func(r0, r1 int) { mulTransARange(dst, a, b, r0, r1) })
+		return
+	}
+	// Serial kernel: k-outer streams both operands row-major. Each
+	// destination element still accumulates its terms in ascending k,
+	// exactly like mulTransARange, so both paths agree bitwise.
 	dst.Zero()
 	for k := 0; k < a.Rows; k++ {
 		arow := a.Row(k)
@@ -137,17 +141,17 @@ func MulTransA(dst, a, b *Matrix) {
 	}
 }
 
-// MulTransB computes dst = a·bᵀ. dst must be a.Rows×b.Rows.
+// MulTransB computes dst = a·bᵀ. dst must be a.Rows×b.Rows. Large
+// products fan out across goroutines with bit-identical results.
 func MulTransB(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic("mat: MulTransB dimension mismatch")
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			drow[j] = Dot(arow, b.Row(j))
-		}
+	flops := a.Rows * b.Rows * a.Cols
+	if useParallel(a.Rows, flops) {
+		parallelRows(a.Rows, func(r0, r1 int) { mulTransBRange(dst, a, b, r0, r1) })
+	} else {
+		mulTransBRange(dst, a, b, 0, a.Rows)
 	}
 }
 
@@ -217,25 +221,49 @@ func (m *Matrix) AddRowBroadcast(v []float64) {
 // ColSums returns the per-column sums of m.
 func (m *Matrix) ColSums() []float64 {
 	out := make([]float64, m.Cols)
+	m.ColSumsInto(out)
+	return out
+}
+
+// ColSumsInto writes the per-column sums of m into dst (length Cols),
+// the allocation-free variant for reusable workspaces.
+func (m *Matrix) ColSumsInto(dst []float64) {
+	if len(dst) != m.Cols {
+		panic("mat: ColSumsInto length mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
-			out[j] += v
+			dst[j] += v
 		}
 	}
-	return out
 }
 
 // RowMeans returns the per-row means of m.
 func (m *Matrix) RowMeans() []float64 {
 	out := make([]float64, m.Rows)
+	m.RowMeansInto(out)
+	return out
+}
+
+// RowMeansInto writes the per-row means of m into dst (length Rows),
+// the allocation-free variant for reusable workspaces.
+func (m *Matrix) RowMeansInto(dst []float64) {
+	if len(dst) != m.Rows {
+		panic("mat: RowMeansInto length mismatch")
+	}
 	if m.Cols == 0 {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
 	}
 	for i := 0; i < m.Rows; i++ {
-		out[i] = Sum(m.Row(i)) / float64(m.Cols)
+		dst[i] = Sum(m.Row(i)) / float64(m.Cols)
 	}
-	return out
 }
 
 // MaxAbs returns the largest absolute element value (0 for empty matrices).

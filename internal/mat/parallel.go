@@ -1,0 +1,122 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The GEMM kernels (Mul, MulTransA, MulTransB) fan out across goroutines
+// when the product is large enough to amortise the scheduling overhead.
+// Work is partitioned by destination row, so no two workers ever touch
+// the same output element and every element accumulates its terms in the
+// same order as the serial kernel — parallel results are bit-identical
+// to serial ones, not merely close.
+
+// ParallelFlopThreshold is the minimum number of multiply-adds below
+// which a product always runs on the calling goroutine. Batch-1
+// inference (a single observation through the paper-size network) stays
+// serial; batch-64 training steps parallelise.
+const ParallelFlopThreshold = 1 << 16
+
+// parallelism is the worker fan-out; 1 disables parallel execution.
+var parallelism int32 = int32(runtime.GOMAXPROCS(0))
+
+// SetParallelism sets the maximum number of goroutines a single matrix
+// product may use. Values below 1 are treated as 1 (serial). The default
+// is GOMAXPROCS at package init.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	atomic.StoreInt32(&parallelism, int32(n))
+}
+
+// Parallelism returns the current worker fan-out.
+func Parallelism() int { return int(atomic.LoadInt32(&parallelism)) }
+
+// useParallel reports whether a product with the given destination row
+// count and multiply-add count should fan out. Callers must check this
+// BEFORE constructing the chunk closure for parallelRows: building the
+// closure unconditionally would heap-allocate it on every serial call,
+// defeating the zero-allocation steady state.
+func useParallel(rows, flops int) bool {
+	return rows >= 2 && flops >= ParallelFlopThreshold && Parallelism() > 1
+}
+
+// parallelRows splits [0, rows) into contiguous chunks and runs fn on
+// each chunk concurrently. Callers gate on useParallel first.
+func parallelRows(rows int, fn func(r0, r1 int)) {
+	w := Parallelism()
+	if w > rows {
+		w = rows
+	}
+	chunk := (rows + w - 1) / w
+	var wg sync.WaitGroup
+	for r0 := 0; r0 < rows; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > rows {
+			r1 = rows
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			fn(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// mulRange computes rows [r0, r1) of dst = a·b.
+func mulRange(dst, a, b *Matrix, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// mulTransARange computes rows [r0, r1) of dst = aᵀ·b, where dst row i
+// is column i of a. For each destination element the k-terms accumulate
+// in ascending order — the same order as the serial kernel's k-outer
+// loop — so the result is bit-identical.
+func mulTransARange(dst, a, b *Matrix, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
+		for k := 0; k < a.Rows; k++ {
+			av := a.Data[k*a.Cols+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// mulTransBRange computes rows [r0, r1) of dst = a·bᵀ.
+func mulTransBRange(dst, a, b *Matrix, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			drow[j] = Dot(arow, b.Row(j))
+		}
+	}
+}

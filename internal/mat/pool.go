@@ -1,0 +1,56 @@
+package mat
+
+import "sync"
+
+// Pool recycles fixed-shape scratch matrices. Workspace owners (the nn
+// layers) draw from it when they first see a batch size and return
+// evicted buffers to it, so alternating batch shapes — one-row inference
+// interleaved with minibatch training — reach steady state with zero
+// heap allocations. A Pool is safe for concurrent use.
+type Pool struct {
+	mu   sync.Mutex
+	free map[[2]int][]*Matrix
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a rows×cols matrix, reusing a previously Put one when a
+// shape match is available. The contents are unspecified; call Zero if
+// the caller needs a cleared matrix.
+func (p *Pool) Get(rows, cols int) *Matrix {
+	key := [2]int{rows, cols}
+	p.mu.Lock()
+	if list := p.free[key]; len(list) > 0 {
+		m := list[len(list)-1]
+		p.free[key] = list[:len(list)-1]
+		p.mu.Unlock()
+		return m
+	}
+	p.mu.Unlock()
+	return New(rows, cols)
+}
+
+// Put returns m to the pool for reuse. The caller must not use m again.
+// Nil matrices are ignored.
+func (p *Pool) Put(m *Matrix) {
+	if m == nil {
+		return
+	}
+	key := [2]int{m.Rows, m.Cols}
+	p.mu.Lock()
+	if p.free == nil {
+		p.free = make(map[[2]int][]*Matrix)
+	}
+	p.free[key] = append(p.free[key], m)
+	p.mu.Unlock()
+}
+
+// scratch is the package-level pool behind GetScratch/PutScratch.
+var scratch = NewPool()
+
+// GetScratch draws a rows×cols matrix from the shared scratch pool.
+func GetScratch(rows, cols int) *Matrix { return scratch.Get(rows, cols) }
+
+// PutScratch returns a matrix to the shared scratch pool.
+func PutScratch(m *Matrix) { scratch.Put(m) }

@@ -12,6 +12,12 @@ import (
 // batch (rows = samples) and Backward consumes the gradient of the loss
 // with respect to the layer output, accumulating parameter gradients and
 // returning the gradient with respect to the layer input.
+//
+// Ownership contract: the matrices Forward and Backward return are
+// reusable workspaces owned by the layer, keyed by batch size. They stay
+// valid until the layer's next Forward/Backward call with the same batch
+// size; callers that need to retain results across calls must Clone
+// them. This is what makes a steady-state training step allocation-free.
 type Layer interface {
 	Forward(x *mat.Matrix, train bool) *mat.Matrix
 	Backward(gradOut *mat.Matrix) *mat.Matrix
@@ -25,6 +31,11 @@ type Dense struct {
 	B       *Param // 1×Out
 
 	lastX *mat.Matrix // cached input for Backward
+
+	out     workspace // y, batch×Out
+	gradIn  workspace // gradient wrt input, batch×In
+	dW      *mat.Matrix
+	colSums []float64
 }
 
 // NewDense creates a Dense layer with He-initialised weights (suitable for
@@ -57,7 +68,7 @@ func (d *Dense) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 		panic(fmt.Sprintf("nn: Dense %s expects %d inputs, got %d", d.W.Name, d.In, x.Cols))
 	}
 	d.lastX = x
-	y := mat.New(x.Rows, d.Out)
+	y := d.out.get(x.Rows, d.Out)
 	mat.Mul(y, x, d.W.Value)
 	y.AddRowBroadcast(d.B.Value.Data)
 	return y
@@ -68,12 +79,16 @@ func (d *Dense) Backward(gradOut *mat.Matrix) *mat.Matrix {
 	if d.lastX == nil {
 		panic("nn: Dense.Backward before Forward")
 	}
-	dW := mat.New(d.In, d.Out)
-	mat.MulTransA(dW, d.lastX, gradOut)
-	d.W.Grad.AddScaled(1, dW)
-	mat.Axpy(1, gradOut.ColSums(), d.B.Grad.Data)
+	if d.dW == nil {
+		d.dW = mat.New(d.In, d.Out)
+		d.colSums = make([]float64, d.Out)
+	}
+	mat.MulTransA(d.dW, d.lastX, gradOut)
+	d.W.Grad.AddScaled(1, d.dW)
+	gradOut.ColSumsInto(d.colSums)
+	mat.Axpy(1, d.colSums, d.B.Grad.Data)
 
-	gradIn := mat.New(gradOut.Rows, d.In)
+	gradIn := d.gradIn.get(gradOut.Rows, d.In)
 	mat.MulTransB(gradIn, gradOut, d.W.Value)
 	return gradIn
 }
@@ -84,6 +99,9 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 // ReLU is the rectified linear activation, applied element-wise.
 type ReLU struct {
 	lastX *mat.Matrix
+
+	out  workspace
+	grad workspace
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -92,10 +110,12 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Forward computes max(0, x).
 func (r *ReLU) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 	r.lastX = x
-	y := mat.New(x.Rows, x.Cols)
+	y := r.out.get(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if v > 0 {
 			y.Data[i] = v
+		} else {
+			y.Data[i] = 0
 		}
 	}
 	return y
@@ -106,10 +126,12 @@ func (r *ReLU) Backward(gradOut *mat.Matrix) *mat.Matrix {
 	if r.lastX == nil {
 		panic("nn: ReLU.Backward before Forward")
 	}
-	g := mat.New(gradOut.Rows, gradOut.Cols)
+	g := r.grad.get(gradOut.Rows, gradOut.Cols)
 	for i, v := range r.lastX.Data {
 		if v > 0 {
 			g.Data[i] = gradOut.Data[i]
+		} else {
+			g.Data[i] = 0
 		}
 	}
 	return g
@@ -127,6 +149,10 @@ type Dropout struct {
 	rng  *rand.Rand
 
 	mask *mat.Matrix
+
+	maskWS workspace
+	out    workspace
+	grad   workspace
 }
 
 // NewDropout creates a dropout layer with the given drop probability.
@@ -145,13 +171,16 @@ func (d *Dropout) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 		return x
 	}
 	keep := 1 - d.Rate
-	d.mask = mat.New(x.Rows, x.Cols)
-	y := mat.New(x.Rows, x.Cols)
+	d.mask = d.maskWS.get(x.Rows, x.Cols)
+	y := d.out.get(x.Rows, x.Cols)
 	inv := 1 / keep
 	for i, v := range x.Data {
 		if d.rng.Float64() < keep {
 			d.mask.Data[i] = inv
 			y.Data[i] = v * inv
+		} else {
+			d.mask.Data[i] = 0
+			y.Data[i] = 0
 		}
 	}
 	return y
@@ -162,7 +191,7 @@ func (d *Dropout) Backward(gradOut *mat.Matrix) *mat.Matrix {
 	if d.mask == nil {
 		return gradOut
 	}
-	g := mat.New(gradOut.Rows, gradOut.Cols)
+	g := d.grad.get(gradOut.Rows, gradOut.Cols)
 	mat.Hadamard(g, gradOut, d.mask)
 	return g
 }

@@ -1,0 +1,47 @@
+package nn
+
+import "github.com/twig-sched/twig/internal/mat"
+
+// maxCachedBatches bounds how many batch sizes a layer caches a buffer
+// for. Twig's steady state alternates exactly two — one-row action
+// selection and minibatch training — so the bound only matters for
+// callers that churn through many shapes; their evicted buffers recycle
+// through the shared mat scratch pool instead of the garbage collector.
+const maxCachedBatches = 4
+
+// workspace caches one reusable matrix per batch size (row count). A
+// layer owns one workspace per buffer it previously allocated fresh on
+// every call; in steady state get is a map hit and performs zero heap
+// allocations. Workspaces are not safe for concurrent use — a network
+// must be driven from one goroutine at a time, as was already true of
+// the cached activations.
+type workspace struct {
+	byRows map[int]*mat.Matrix
+}
+
+// get returns the cached rows×cols buffer, allocating (via the shared
+// scratch pool) on first use of a batch size. The contents are
+// unspecified; callers overwrite every element or zero it explicitly.
+func (w *workspace) get(rows, cols int) *mat.Matrix {
+	m := w.byRows[rows]
+	if m != nil && m.Cols == cols {
+		return m
+	}
+	if w.byRows == nil {
+		w.byRows = make(map[int]*mat.Matrix, 2)
+	}
+	if m != nil {
+		mat.PutScratch(m)
+	} else if len(w.byRows) >= maxCachedBatches {
+		for r, old := range w.byRows {
+			if r != rows {
+				mat.PutScratch(old)
+				delete(w.byRows, r)
+				break
+			}
+		}
+	}
+	m = mat.GetScratch(rows, cols)
+	w.byRows[rows] = m
+	return m
+}

@@ -25,6 +25,26 @@ type Batch struct {
 	Weights     []float64
 }
 
+// grow resizes b's slices to length n, reusing their backing arrays when
+// capacity allows so a caller-owned Batch stops allocating once warm.
+func (b *Batch) grow(n int) {
+	if cap(b.Transitions) >= n {
+		b.Transitions = b.Transitions[:n]
+	} else {
+		b.Transitions = make([]Transition, n)
+	}
+	if cap(b.Indices) >= n {
+		b.Indices = b.Indices[:n]
+	} else {
+		b.Indices = make([]int, n)
+	}
+	if cap(b.Weights) >= n {
+		b.Weights = b.Weights[:n]
+	} else {
+		b.Weights = make([]float64, n)
+	}
+}
+
 // Buffer is the interface shared by the uniform and prioritised buffers.
 type Buffer interface {
 	// Add stores a transition. Prioritised buffers assign it the current
@@ -32,6 +52,10 @@ type Buffer interface {
 	Add(t Transition)
 	// Sample draws a minibatch of size n. It panics if the buffer is empty.
 	Sample(n int, rng *rand.Rand) Batch
+	// SampleInto fills a caller-owned batch with n transitions, reusing
+	// the batch's backing slices when they have capacity. Semantics are
+	// otherwise identical to Sample.
+	SampleInto(b *Batch, n int, rng *rand.Rand)
 	// UpdatePriorities sets new priorities (|TD error|) for the sampled
 	// indices. A no-op for the uniform buffer.
 	UpdatePriorities(indices []int, tdErrors []float64)
@@ -64,21 +88,23 @@ func (u *Uniform) Add(t Transition) {
 
 // Sample draws n transitions uniformly with replacement.
 func (u *Uniform) Sample(n int, rng *rand.Rand) Batch {
+	var b Batch
+	u.SampleInto(&b, n, rng)
+	return b
+}
+
+// SampleInto draws n transitions uniformly with replacement into b.
+func (u *Uniform) SampleInto(b *Batch, n int, rng *rand.Rand) {
 	if len(u.data) == 0 {
 		panic("replay: sampling from empty buffer")
 	}
-	b := Batch{
-		Transitions: make([]Transition, n),
-		Indices:     make([]int, n),
-		Weights:     make([]float64, n),
-	}
+	b.grow(n)
 	for i := 0; i < n; i++ {
 		j := rng.Intn(len(u.data))
 		b.Transitions[i] = u.data[j]
 		b.Indices[i] = j
 		b.Weights[i] = 1
 	}
-	return b
 }
 
 // UpdatePriorities is a no-op for the uniform buffer.
@@ -146,14 +172,18 @@ func (p *Prioritized) beta() float64 {
 // Sample draws n transitions proportionally to priority, stratified over
 // the priority mass, and returns max-normalised importance weights.
 func (p *Prioritized) Sample(n int, rng *rand.Rand) Batch {
+	var b Batch
+	p.SampleInto(&b, n, rng)
+	return b
+}
+
+// SampleInto draws n transitions proportionally to priority into b,
+// reusing b's backing slices when they have capacity.
+func (p *Prioritized) SampleInto(b *Batch, n int, rng *rand.Rand) {
 	if p.size == 0 {
 		panic("replay: sampling from empty buffer")
 	}
-	b := Batch{
-		Transitions: make([]Transition, n),
-		Indices:     make([]int, n),
-		Weights:     make([]float64, n),
-	}
+	b.grow(n)
 	beta := p.beta()
 	p.samples++
 	total := p.tree.total()
@@ -185,7 +215,6 @@ func (p *Prioritized) Sample(n int, rng *rand.Rand) Batch {
 			b.Weights[i] /= maxW
 		}
 	}
-	return b
 }
 
 // UpdatePriorities assigns new |TD error| priorities to sampled indices.

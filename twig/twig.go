@@ -221,31 +221,23 @@ func NewStepWiseLoad(minRPS, maxRPS, changeFactor float64, periodS int) *StepWis
 	return loadgen.NewStepWise(minRPS, maxRPS, changeFactor, periodS)
 }
 
+// ObservationTracker converts step results into controller observations
+// while tracking per-service queue depth across intervals, so
+// ServiceObs.QueueGrowing reflects an actual increase. Control loops that
+// run for more than one interval should use a tracker rather than the
+// stateless ObservationFrom.
+type ObservationTracker = ctrl.ObservationTracker
+
 // ObservationFrom converts a simulation step result into the controller
-// observation for the next interval.
+// observation for the next interval. It is stateless, so QueueGrowing is
+// set whenever the queue is non-empty; loops should prefer an
+// ObservationTracker, which compares against the previous interval
+// exactly as the experiment runners do.
 func ObservationFrom(srv *Server, res StepResult) Observation {
-	obs := Observation{Time: res.Time + 1, PowerW: res.PowerW}
-	for i, sv := range res.Services {
-		obs.Services = append(obs.Services, ServiceObs{
-			P99Ms:       sv.P99Ms,
-			QoSTargetMs: sv.QoSTargetMs,
-			MeasuredRPS: float64(sv.Completed),
-			MaxLoadRPS:  srv.Spec(i).Profile.MaxLoadRPS,
-			NormPMCs:    sv.NormPMCs,
-		})
-	}
-	return obs
+	return ctrl.ObservationFromStep(srv, res)
 }
 
 // InitialObservation bootstraps a control loop before any measurement.
 func InitialObservation(srv *Server) Observation {
-	obs := Observation{}
-	for i := 0; i < srv.NumServices(); i++ {
-		spec := srv.Spec(i)
-		obs.Services = append(obs.Services, ServiceObs{
-			QoSTargetMs: spec.QoSTargetMs,
-			MaxLoadRPS:  spec.Profile.MaxLoadRPS,
-		})
-	}
-	return obs
+	return ctrl.InitialObservation(srv)
 }
