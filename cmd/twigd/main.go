@@ -9,16 +9,26 @@
 //	twigd -services img-dnn -pattern diurnal -seconds 4000
 //	twigd -services masstree -trace load.csv -csv run.csv -http :8080
 //	twigd -services masstree,moses -faults hostile -guard
+//	twigd -services masstree -faults crash -checkpoint-dir /var/lib/twigd
 //
 // With -http, GET /status returns a JSON snapshot of the run (time,
 // power, per-service allocation and tail latency, and — under -faults
 // and -guard — the active fault events and guard health) while it
 // executes. -faults arms a named deterministic fault scenario and
 // -guard wraps the manager in the resilient harness.
+//
+// With -checkpoint-dir, the daemon writes a crash-consistent checkpoint
+// of the full run state (simulated world, manager, guard, control-loop
+// position) every -checkpoint-every simulated seconds, keeps the last
+// -checkpoint-keep files, and on start restores the newest valid one —
+// skipping torn or corrupt files — so a killed daemon resumes
+// bit-identically where it left off.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -29,6 +39,8 @@ import (
 	"sync"
 	"time"
 
+	"github.com/twig-sched/twig/internal/checkpoint"
+	"github.com/twig-sched/twig/internal/core"
 	"github.com/twig-sched/twig/internal/ctrl"
 	"github.com/twig-sched/twig/internal/experiments"
 	"github.com/twig-sched/twig/internal/report"
@@ -76,6 +88,9 @@ func main() {
 		logEvery     = flag.Int("log-every", 100, "print a status line every N simulated seconds")
 		faultsFlag   = flag.String("faults", "none", "fault scenario: "+strings.Join(faults.Names(), ", "))
 		guardFlag    = flag.Bool("guard", false, "wrap the manager in the resilient guard")
+		ckptDir      = flag.String("checkpoint-dir", "", "directory for periodic crash-consistent checkpoints; on start the latest valid one is restored and the run resumes bit-identically")
+		ckptEvery    = flag.Int("checkpoint-every", 60, "write a checkpoint every N simulated seconds (with -checkpoint-dir)")
+		ckptKeep     = flag.Int("checkpoint-keep", 3, "checkpoints to retain on disk (with -checkpoint-dir)")
 	)
 	flag.Parse()
 
@@ -99,30 +114,79 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	var srv *sim.Server
-	if scenario.IsZero() {
-		srv = experiments.NewServer(*seed, names...)
-	} else {
-		srv = experiments.NewFaultyServer(*seed, &scenario, names...)
+	// build constructs a fresh world (server, manager, optional guard).
+	// Restore tries candidate checkpoints newest-first, and each attempt
+	// decodes into brand-new components so a half-restored bundle from a
+	// corrupt file is discarded whole, never adopted.
+	build := func() (*sim.Server, *core.Manager, *ctrl.Guard) {
+		var s *sim.Server
+		if scenario.IsZero() {
+			s = experiments.NewServer(*seed, names...)
+		} else {
+			s = experiments.NewFaultyServer(*seed, &scenario, names...)
+		}
+		m := experiments.NewTwig(s, sc, *seed, names...)
+		var g *ctrl.Guard
+		if *guardFlag {
+			g = ctrl.NewGuard(m, ctrl.DefaultGuardConfig(s.ManagedCores()))
+		}
+		return s, m, g
+	}
+	components := func(s *sim.Server, m *core.Manager, g *ctrl.Guard, l *experiments.LoopState) []checkpoint.Checkpointable {
+		comps := []checkpoint.Checkpointable{s, m, l}
+		if g != nil {
+			comps = append(comps, g)
+		}
+		return comps
+	}
+
+	srv, mgr, guard := build()
+	loop := experiments.NewLoopState()
+	if !scenario.IsZero() {
 		fmt.Printf("twigd: fault scenario %q armed\n", scenario.Name)
 	}
-	mgr := experiments.NewTwig(srv, sc, *seed, names...)
+
+	var writer *checkpoint.AsyncWriter
+	resumed := false
+	if *ckptDir != "" {
+		store, err := checkpoint.NewStore(*ckptDir, *ckptKeep)
+		if err != nil {
+			fail("opening checkpoint dir: %v", err)
+		}
+		seq, err := store.LoadLatest(func(data []byte) error {
+			s, m, g := build()
+			l := experiments.NewLoopState()
+			if err := checkpoint.Unmarshal(data, components(s, m, g, l)...); err != nil {
+				return err
+			}
+			srv, mgr, guard, loop = s, m, g, l
+			return nil
+		})
+		switch {
+		case err == nil:
+			resumed = true
+			fmt.Printf("twigd: resumed from %s at t=%d\n", store.Path(seq), loop.Next)
+		case errors.Is(err, os.ErrNotExist):
+			// No checkpoints yet: a fresh run.
+		default:
+			// Every retained checkpoint failed to restore. Starting over
+			// silently would discard training the operator expects to
+			// keep, so surface it and let them decide.
+			fail("no checkpoint in %s is restorable: %v", *ckptDir, err)
+		}
+		writer = checkpoint.NewAsyncWriter(store)
+	}
 	var controller ctrl.Controller = mgr
-	var guard *ctrl.Guard
-	if *guardFlag {
-		guard = ctrl.NewGuard(mgr, ctrl.DefaultGuardConfig(srv.ManagedCores()))
+	if guard != nil {
 		controller = guard
 	}
+
 	if *loadFlag != "" {
-		f, err := os.Open(*loadFlag)
-		if err != nil {
-			fail("opening weights: %v", err)
+		if resumed {
+			fmt.Printf("twigd: -load ignored, run resumed from %s\n", *ckptDir)
+		} else if err := loadInto(mgr, *loadFlag); err != nil {
+			fail("%v", err)
 		}
-		if err := mgr.Load(f); err != nil {
-			fail("loading weights: %v", err)
-		}
-		f.Close()
-		fmt.Printf("twigd: loaded weights from %s\n", *loadFlag)
 	}
 
 	patterns := make([]loadgen.Pattern, len(names))
@@ -176,12 +240,22 @@ func main() {
 	var coresTrace []float64
 	fmt.Printf("twigd: managing %v on %d cores (%s scale, ε %0.2f→%0.2f)\n",
 		names, len(srv.ManagedCores()), sc.Name, sc.Epsilon.Start, sc.Epsilon.End)
-	sum := experiments.Run(experiments.RunConfig{
+	runCfg := experiments.RunConfig{
 		Server:       srv,
 		Controller:   controller,
 		Patterns:     patterns,
 		Seconds:      *seconds,
 		SummaryFromS: maxInt(*seconds-sc.SummaryS, *seconds/2),
+		AfterInterval: func(t int, obs ctrl.Observation, lastValid sim.Assignment) {
+			// Track the loop state every interval; encode on cadence. The
+			// encode is synchronous (the state must be a consistent cut),
+			// the disk write is not — a slow disk drops intermediate
+			// snapshots rather than stalling the control loop.
+			loop.Next, loop.Obs, loop.LastValid = t+1, obs, lastValid
+			if writer != nil && (t+1)%maxInt(*ckptEvery, 1) == 0 {
+				writer.Submit(uint64(t+1), checkpoint.Marshal(components(srv, mgr, guard, loop)...))
+			}
+		},
 		Hook: func(t int, r sim.StepResult, asg sim.Assignment) {
 			mu.Lock()
 			snap = snapshot(names, t, r, guard)
@@ -200,7 +274,19 @@ func main() {
 			}
 			fmt.Println()
 		},
-	})
+	}
+	loop.Configure(&runCfg)
+	sum := experiments.Run(runCfg)
+
+	if writer != nil {
+		// Final checkpoint regardless of cadence, and wait for the disk.
+		writer.Submit(uint64(loop.Next), checkpoint.Marshal(components(srv, mgr, guard, loop)...))
+		if err := writer.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "twigd: writing final checkpoint: %v\n", err)
+		} else {
+			fmt.Printf("  checkpointed t=%d to %s\n", loop.Next, *ckptDir)
+		}
+	}
 
 	fmt.Println("\nsummary (final window):")
 	for i, name := range names {
@@ -220,13 +306,13 @@ func main() {
 	if *saveFlag != "" {
 		f, err := os.Create(*saveFlag)
 		if err != nil {
-			fail("creating weights file: %v", err)
+			fail("creating checkpoint file: %v", err)
 		}
-		if err := mgr.Save(f); err != nil {
-			fail("saving weights: %v", err)
+		if err := mgr.SaveCheckpoint(f); err != nil {
+			fail("saving checkpoint: %v", err)
 		}
 		f.Close()
-		fmt.Printf("  saved weights to %s\n", *saveFlag)
+		fmt.Printf("  saved manager checkpoint to %s\n", *saveFlag)
 	}
 
 	if *csvFlag != "" {
@@ -312,6 +398,29 @@ func csvRow(t int, r sim.StepResult) []interface{} {
 		row = append(row, sv.NumCores, sv.FreqGHz, sv.P99Ms, sv.OfferedRPS)
 	}
 	return row
+}
+
+// loadInto seeds the manager from -load. The file may be a checkpoint
+// written by -save or -checkpoint-dir (the manager section is pulled
+// out; training resumes bit-identically) or a legacy gob weight file
+// (weights only — optimiser moments, replay and ε position start fresh).
+func loadInto(mgr *core.Manager, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+	if checkpoint.IsCheckpoint(data) {
+		if err := mgr.LoadCheckpoint(bytes.NewReader(data)); err != nil {
+			return fmt.Errorf("restoring checkpoint %s: %w", path, err)
+		}
+		fmt.Printf("twigd: restored manager checkpoint from %s\n", path)
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "twigd: %s is a legacy gob weight file; loading weights only (deprecated — re-save with -save to migrate)\n", path)
+	if err := mgr.Load(bytes.NewReader(data)); err != nil {
+		return fmt.Errorf("loading legacy weights %s: %w", path, err)
+	}
+	return nil
 }
 
 func fail(format string, args ...interface{}) {

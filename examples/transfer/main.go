@@ -25,11 +25,14 @@ func main() {
 	donor := newQuickManager(donorSrv, donorName, donorTarget, donorProf.MaxLoadRPS)
 	run(donorSrv, donor, 0.5*donorProf.MaxLoadRPS, 4000, nil)
 
-	var weights bytes.Buffer
-	if err := donor.Save(&weights); err != nil {
+	// Checkpoint the full manager state — networks with their Adam
+	// moments, the replay buffer, step counters and RNG position — not
+	// just the weights a legacy Save would capture.
+	var ckpt bytes.Buffer
+	if err := donor.SaveCheckpoint(&ckpt); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("trained on %s; saved %d bytes of weights\n\n", donorName, weights.Len())
+	fmt.Printf("trained on %s; checkpointed %d bytes of manager state\n\n", donorName, ckpt.Len())
 
 	// Phase 2: the target service, from scratch vs with transfer.
 	targetProf, _ := twig.LookupProfile(targetName)
@@ -38,13 +41,25 @@ func main() {
 
 	for _, mode := range []string{"scratch", "transfer"} {
 		srv := twig.NewServer(cfg, []twig.ServiceSpec{{Profile: targetProf, QoSTargetMs: targetQoS, Seed: 3}})
-		mgr := newQuickManager(srv, targetName, targetQoS, targetProf.MaxLoadRPS)
+		var mgr *twig.Manager
 		if mode == "transfer" {
-			if err := mgr.Load(bytes.NewReader(weights.Bytes())); err != nil {
+			// A checkpoint restores only into a manager with matching
+			// configuration, so rebuild the donor's manager, restore, then
+			// swap the new service in — the Sec. IV node-operator workflow.
+			mgr = newQuickManager(srv, donorName, donorTarget, donorProf.MaxLoadRPS)
+			if err := mgr.LoadCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
 				log.Fatal(err)
 			}
+			mgr.SetService(0, twig.ServiceConfig{Name: targetName, QoSTargetMs: targetQoS, MaxLoadRPS: targetProf.MaxLoadRPS})
 			// Re-initialise the output heads and resume ε mid-schedule.
+			// Unlike bare-weight seeding, the restored replay buffer still
+			// holds donor experience and the optimiser its moments, so the
+			// first ~minibatch of updates trains on stale transitions —
+			// expect QoS during the warm-up window to differ slightly from
+			// a weights-only transfer before the advantage shows.
 			mgr.Transfer(2000)
+		} else {
+			mgr = newQuickManager(srv, targetName, targetQoS, targetProf.MaxLoadRPS)
 		}
 		fmt.Printf("%s on %s:\n", mode, targetName)
 		run(srv, mgr, load, 2400, func(t, met, total int) {

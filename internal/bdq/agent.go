@@ -3,11 +3,11 @@ package bdq
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"github.com/twig-sched/twig/internal/mat"
 	"github.com/twig-sched/twig/internal/nn"
 	"github.com/twig-sched/twig/internal/replay"
+	"github.com/twig-sched/twig/internal/rng"
 )
 
 // TargetMode selects how the bootstrap target aggregates the branch
@@ -121,7 +121,7 @@ type Agent struct {
 	target *Network
 	buffer replay.Buffer
 	opt    *nn.Adam
-	rng    *rand.Rand
+	rng    *rng.Rand
 
 	step       int // environment steps (action selections)
 	trainSteps int // gradient updates
@@ -173,9 +173,9 @@ func (a *Agent) trainWorkspace() *trainWS {
 // NewAgent constructs an agent; cfg is completed with Defaults first.
 func NewAgent(cfg AgentConfig) *Agent {
 	cfg = cfg.Defaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	online := NewNetwork(cfg.Spec, rng)
-	target := NewNetwork(cfg.Spec, rng)
+	r := rng.New(cfg.Seed)
+	online := NewNetwork(cfg.Spec, r.Rand)
+	target := NewNetwork(cfg.Spec, r.Rand)
 	target.CopyValuesFrom(online)
 	var buf replay.Buffer
 	if cfg.UsePER {
@@ -185,7 +185,7 @@ func NewAgent(cfg AgentConfig) *Agent {
 	}
 	opt := nn.NewAdam(cfg.LearningRate)
 	opt.MaxGradNorm = cfg.MaxGradNorm
-	return &Agent{cfg: cfg, online: online, target: target, buffer: buf, opt: opt, rng: rng}
+	return &Agent{cfg: cfg, online: online, target: target, buffer: buf, opt: opt, rng: r}
 }
 
 // Config returns the (defaulted) configuration.
@@ -280,7 +280,7 @@ func (a *Agent) TrainStep() float64 {
 	spec := a.cfg.Spec
 	K, D := spec.Agents, len(spec.Dims)
 	ws := a.trainWorkspace()
-	a.buffer.SampleInto(&ws.batch, a.cfg.BatchSize, a.rng)
+	a.buffer.SampleInto(&ws.batch, a.cfg.BatchSize, a.rng.Rand)
 	batch := &ws.batch
 	n := len(batch.Transitions)
 
@@ -375,7 +375,7 @@ func (a *Agent) TrainStep() float64 {
 // layers keep their trained weights, and exploration is restarted at the
 // given step of the ε schedule.
 func (a *Agent) Transfer(restartStep int) {
-	a.online.ReinitOutputLayers(a.rng)
+	a.online.ReinitOutputLayers(a.rng.Rand)
 	a.target.CopyValuesFrom(a.online)
 	a.step = restartStep
 }

@@ -1,0 +1,154 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// WriteFileAtomic writes data to path crash-consistently: the bytes go
+// to a temporary file in the same directory, are fsynced, and the temp
+// file is renamed over path; finally the directory is fsynced so the
+// rename itself survives a crash. A reader therefore sees either the
+// old file or the complete new file — never a prefix (and if the disk
+// tears the write anyway, the CRC trailer catches it on load).
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: fsync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync() // best effort; not all filesystems support dir fsync
+		d.Close()
+	}
+	return nil
+}
+
+// Store manages a directory of numbered checkpoint files
+// (ckpt-<seq>.twig) with keep-last-K retention. Sequence numbers are
+// the caller's (typically the simulated interval at which the
+// checkpoint was taken), so a restored run resumes numbering where the
+// crashed one left off.
+type Store struct {
+	dir  string
+	keep int
+}
+
+// filePattern matches store-managed checkpoint files; %012d keeps
+// lexicographic order equal to numeric order.
+const filePattern = "ckpt-%012d.twig"
+
+// NewStore opens (creating if needed) a checkpoint directory retaining
+// the newest keep files. keep < 1 is treated as 1: the newest
+// checkpoint is never pruned.
+func NewStore(dir string, keep int) (*Store, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create dir: %w", err)
+	}
+	return &Store{dir: dir, keep: keep}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Save atomically writes data as checkpoint seq and prunes files beyond
+// the retention limit (oldest first, and never the file just written).
+func (s *Store) Save(seq uint64, data []byte) error {
+	path := filepath.Join(s.dir, fmt.Sprintf(filePattern, seq))
+	if err := WriteFileAtomic(path, data); err != nil {
+		return err
+	}
+	seqs, err := s.Sequences()
+	if err != nil {
+		return nil // written fine; pruning is best-effort
+	}
+	for len(seqs) > s.keep {
+		old := seqs[0]
+		seqs = seqs[1:]
+		if old == seq {
+			continue
+		}
+		_ = os.Remove(filepath.Join(s.dir, fmt.Sprintf(filePattern, old)))
+	}
+	return nil
+}
+
+// Sequences lists the sequence numbers of files present in the store,
+// ascending. Files not matching the naming scheme are ignored.
+func (s *Store) Sequences() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read dir: %w", err)
+	}
+	var seqs []uint64
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		var seq uint64
+		if n, err := fmt.Sscanf(ent.Name(), filePattern, &seq); err == nil && n == 1 &&
+			ent.Name() == fmt.Sprintf(filePattern, seq) {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// Path returns the file path for sequence seq.
+func (s *Store) Path(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf(filePattern, seq))
+}
+
+// LoadLatest finds the newest checkpoint whose bytes restore cleanly
+// and returns its sequence number. Candidates are tried newest-first;
+// restore is called with each file's contents and may fail (corrupt
+// file, version skew, shape mismatch), in which case the next older
+// file is tried — the torn-write fallback path. Returns os.ErrNotExist
+// when the directory holds no checkpoint files at all, and a combined
+// error when files exist but none restores.
+func (s *Store) LoadLatest(restore func(data []byte) error) (uint64, error) {
+	seqs, err := s.Sequences()
+	if err != nil {
+		return 0, err
+	}
+	if len(seqs) == 0 {
+		return 0, fmt.Errorf("checkpoint: no checkpoints in %s: %w", s.dir, os.ErrNotExist)
+	}
+	var firstErr error
+	for i := len(seqs) - 1; i >= 0; i-- {
+		seq := seqs[i]
+		data, err := os.ReadFile(s.Path(seq))
+		if err == nil {
+			err = restore(data)
+		}
+		if err == nil {
+			return seq, nil
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("checkpoint %s: %w", s.Path(seq), err)
+		}
+	}
+	return 0, fmt.Errorf("checkpoint: no valid checkpoint in %s (newest failure: %w)", s.dir, firstErr)
+}

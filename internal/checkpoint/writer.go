@@ -1,0 +1,78 @@
+package checkpoint
+
+import "sync"
+
+// AsyncWriter decouples checkpoint persistence from the control loop.
+// Encoding must happen synchronously (the components are mutable and
+// advance every interval), but the resulting byte slice is immutable,
+// so the disk write — fsync included — runs on a background goroutine.
+// Submissions are latest-wins: if the disk is slower than the
+// checkpoint cadence, intermediate snapshots are dropped rather than
+// queued, bounding memory to one in-flight plus one pending snapshot.
+type AsyncWriter struct {
+	store *Store
+
+	mu      sync.Mutex
+	pending *snapshot // next snapshot to write, replaced by newer submissions
+	running bool      // a writer goroutine is draining pending
+	lastErr error     // most recent write failure
+	wg      sync.WaitGroup
+}
+
+type snapshot struct {
+	seq  uint64
+	data []byte
+}
+
+// NewAsyncWriter wraps store.
+func NewAsyncWriter(store *Store) *AsyncWriter {
+	return &AsyncWriter{store: store}
+}
+
+// Submit hands a snapshot to the background writer and returns
+// immediately. data must not be mutated after the call (Marshal returns
+// a fresh slice, so this is natural).
+func (w *AsyncWriter) Submit(seq uint64, data []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pending = &snapshot{seq: seq, data: data}
+	if w.running {
+		return
+	}
+	w.running = true
+	w.wg.Add(1)
+	go w.drain()
+}
+
+func (w *AsyncWriter) drain() {
+	defer w.wg.Done()
+	for {
+		w.mu.Lock()
+		snap := w.pending
+		w.pending = nil
+		if snap == nil {
+			w.running = false
+			w.mu.Unlock()
+			return
+		}
+		w.mu.Unlock()
+
+		err := w.store.Save(snap.seq, snap.data)
+
+		w.mu.Lock()
+		if err != nil {
+			w.lastErr = err
+		}
+		w.mu.Unlock()
+	}
+}
+
+// Flush blocks until every submitted snapshot has been written (or
+// failed) and returns the most recent write error, if any. Call before
+// process exit so the final checkpoint is durable.
+func (w *AsyncWriter) Flush() error {
+	w.wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastErr
+}

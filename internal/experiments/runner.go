@@ -26,6 +26,21 @@ type RunConfig struct {
 	SummaryFromS int
 	// Hook, when set, observes every interval (for trace figures).
 	Hook func(t int, res sim.StepResult, asg sim.Assignment)
+
+	// The remaining fields support crash-consistent resume. A fresh run
+	// leaves them zero. To continue a run from checkpointed loop state,
+	// set StartSecond to the first interval still to execute and supply
+	// the restored Tracker, StartObs (the observation pending for that
+	// interval's Decide) and LastValid (the last assignment the simulator
+	// accepted). AfterInterval, when set, fires at the end of every
+	// interval at the checkpoint-safe boundary: the observation and
+	// last-valid assignment it receives, together with the tracker and
+	// the components' own state, fully determine interval t+1 onward.
+	StartSecond   int
+	Tracker       *ctrl.ObservationTracker
+	StartObs      *ctrl.Observation
+	LastValid     *sim.Assignment
+	AfterInterval func(t int, obs ctrl.Observation, lastValid sim.Assignment)
 }
 
 // Summary aggregates a run, in the paper's metrics.
@@ -90,16 +105,29 @@ func Run(cfg RunConfig) Summary {
 	}
 
 	obs := ctrl.InitialObservation(srv)
+	if cfg.StartObs != nil {
+		obs = *cfg.StartObs
+	}
 	var prevAsg sim.Assignment
 	samples := 0
-	var tracker ctrl.ObservationTracker
+	tracker := cfg.Tracker
+	if tracker == nil {
+		tracker = &ctrl.ObservationTracker{}
+	}
 
 	// lastValid is the most recent assignment the simulator accepted; it
 	// stands in when the controller panics or emits a malformed decision,
 	// like real hardware holding its previous DVFS/affinity programming.
 	lastValid := safeAssignment(srv)
+	if cfg.LastValid != nil {
+		lastValid = *cfg.LastValid
+		// At the end of every interval prevAsg equals the accepted
+		// assignment, so a resumed run's migration counting continues
+		// exactly where the original left off.
+		prevAsg = *cfg.LastValid
+	}
 
-	for t := 0; t < cfg.Seconds; t++ {
+	for t := cfg.StartSecond; t < cfg.Seconds; t++ {
 		asg, panicked := safeDecide(cfg.Controller, obs)
 		if panicked {
 			sum.DecidePanics++
@@ -158,15 +186,20 @@ func Run(cfg RunConfig) Summary {
 			}
 		}
 		prevAsg = asg
+		if cfg.AfterInterval != nil {
+			cfg.AfterInterval(t, obs, lastValid)
+		}
 	}
 
-	n := float64(samples)
-	sum.AvgPowerW /= n
-	for i := 0; i < k; i++ {
-		sum.QoSGuarantee[i] /= n
-		sum.MeanTardiness[i] /= n
-		sum.AvgCores[i] /= n
-		sum.AvgFreqGHz[i] /= n
+	if samples > 0 {
+		n := float64(samples)
+		sum.AvgPowerW /= n
+		for i := 0; i < k; i++ {
+			sum.QoSGuarantee[i] /= n
+			sum.MeanTardiness[i] /= n
+			sum.AvgCores[i] /= n
+			sum.AvgFreqGHz[i] /= n
+		}
 	}
 	return sum
 }

@@ -30,24 +30,46 @@ func Snapshot(params []*Param) []ParamSnapshot {
 	return out
 }
 
-// Restore loads a snapshot back into params. Shapes must match; names are
-// checked to catch architecture drift between save and load.
+// Restore loads a snapshot back into params. Shapes must match; names
+// are checked to catch architecture drift between save and load, and
+// every error says exactly which parameter disagreed and how.
 func Restore(params []*Param, snap []ParamSnapshot) error {
 	if len(params) != len(snap) {
-		return fmt.Errorf("nn: snapshot has %d params, network has %d", len(snap), len(params))
+		return fmt.Errorf("nn: snapshot has %d params %v, network has %d params %v",
+			len(snap), snapshotNames(snap), len(params), paramNames(params))
 	}
 	for i, p := range params {
 		s := snap[i]
+		if p.Name != s.Name {
+			return fmt.Errorf("nn: param %d is %q in the network but %q in the snapshot", i, p.Name, s.Name)
+		}
 		if p.Value.Rows != s.Rows || p.Value.Cols != s.Cols {
-			return fmt.Errorf("nn: param %q shape %dx%d != snapshot %dx%d",
+			return fmt.Errorf("nn: param %q is %dx%d in the network but %dx%d in the snapshot",
 				p.Name, p.Value.Rows, p.Value.Cols, s.Rows, s.Cols)
 		}
-		if p.Name != s.Name {
-			return fmt.Errorf("nn: param %q does not match snapshot entry %q", p.Name, s.Name)
+		if len(s.Data) != s.Rows*s.Cols {
+			return fmt.Errorf("nn: param %q snapshot carries %d values for shape %dx%d",
+				p.Name, len(s.Data), s.Rows, s.Cols)
 		}
 		copy(p.Value.Data, s.Data)
 	}
 	return nil
+}
+
+func paramNames(params []*Param) []string {
+	names := make([]string, len(params))
+	for i, p := range params {
+		names[i] = p.Name
+	}
+	return names
+}
+
+func snapshotNames(snap []ParamSnapshot) []string {
+	names := make([]string, len(snap))
+	for i, s := range snap {
+		names[i] = s.Name
+	}
+	return names
 }
 
 // Save gob-encodes a snapshot of params to w.

@@ -1,0 +1,211 @@
+package replay
+
+import (
+	"fmt"
+
+	"github.com/twig-sched/twig/internal/checkpoint"
+)
+
+// Kind tags distinguish buffer implementations inside an agent section
+// so a checkpoint written with PER cannot silently restore into a
+// uniform buffer (or vice versa).
+const (
+	kindUniform     = 1
+	kindPrioritized = 2
+)
+
+// EncodeBufferKind writes the implementation tag for b.
+func EncodeBufferKind(e *checkpoint.Encoder, b Buffer) {
+	switch b.(type) {
+	case *Uniform:
+		e.Int(kindUniform)
+	case *Prioritized:
+		e.Int(kindPrioritized)
+	default:
+		panic(fmt.Sprintf("replay: unknown buffer type %T", b))
+	}
+}
+
+// CheckBufferKind reads the tag and verifies it matches b.
+func CheckBufferKind(d *checkpoint.Decoder, b Buffer) error {
+	kind := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	var want int
+	switch b.(type) {
+	case *Uniform:
+		want = kindUniform
+	case *Prioritized:
+		want = kindPrioritized
+	default:
+		return fmt.Errorf("replay: unknown buffer type %T", b)
+	}
+	if kind != want {
+		return fmt.Errorf("replay: checkpoint buffer kind %d does not match live buffer %T", kind, b)
+	}
+	return nil
+}
+
+func encodeTransition(e *checkpoint.Encoder, t Transition) {
+	e.F64s(t.State)
+	e.Ints(t.Actions)
+	e.F64s(t.Rewards)
+	e.F64s(t.NextState)
+	e.Bool(t.Done)
+}
+
+func decodeTransition(d *checkpoint.Decoder) Transition {
+	return Transition{
+		State:     d.F64s(),
+		Actions:   d.Ints(),
+		Rewards:   d.F64s(),
+		NextState: d.F64s(),
+		Done:      d.Bool(),
+	}
+}
+
+// transitionMinBytes is the smallest encoding of one transition (four
+// empty slices plus the Done byte); it bounds count fields on decode.
+const transitionMinBytes = 4*4 + 1
+
+// EncodeState writes the ring contents and cursor. Capacity goes in as
+// a fingerprint: restoring into a buffer of different capacity would
+// scramble ring arithmetic.
+func (u *Uniform) EncodeState(e *checkpoint.Encoder) {
+	e.Int(cap(u.data))
+	e.Int(len(u.data))
+	for _, t := range u.data {
+		encodeTransition(e, t)
+	}
+	e.Int(u.next)
+	e.Bool(u.full)
+}
+
+// DecodeState restores state written by EncodeState into a buffer
+// constructed with the same capacity.
+func (u *Uniform) DecodeState(d *checkpoint.Decoder) error {
+	capacity := d.Int()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if capacity != cap(u.data) {
+		return fmt.Errorf("replay: checkpoint capacity %d, live uniform buffer %d", capacity, cap(u.data))
+	}
+	if n < 0 || n > capacity || n*transitionMinBytes > d.Remaining() {
+		return fmt.Errorf("replay: stored count %d out of range", n)
+	}
+	u.data = u.data[:0]
+	for i := 0; i < n; i++ {
+		u.data = append(u.data, decodeTransition(d))
+	}
+	u.next = d.Int()
+	u.full = d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if u.next < 0 || u.next >= capacity {
+		return fmt.Errorf("replay: ring cursor %d out of range [0,%d)", u.next, capacity)
+	}
+	return nil
+}
+
+// EncodeState writes the stored transitions, ring cursors, max-priority
+// and β-anneal position, plus the sum-tree's exact node values as a
+// sparse (index, value) list. The internal node sums are NOT rebuilt
+// from the leaves on restore: they carry the floating-point history of
+// every delta propagation, and Sample's prefix-sum descent reads them
+// directly, so bit-identical resumed draws need the exact bits.
+func (p *Prioritized) EncodeState(e *checkpoint.Encoder) {
+	e.Int(p.capacity)
+	e.Int(p.size)
+	for i := 0; i < p.size; i++ {
+		encodeTransition(e, p.data[i])
+	}
+	e.Int(p.next)
+	e.F64(p.maxPrio)
+	e.Int(p.samples)
+
+	nonzero := 0
+	for _, v := range p.tree.nodes {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	e.Int(nonzero)
+	for i, v := range p.tree.nodes {
+		if v != 0 {
+			e.Int(i)
+			e.F64(v)
+		}
+	}
+}
+
+// DecodeState restores state written by EncodeState into a buffer
+// constructed with the same capacity.
+func (p *Prioritized) DecodeState(d *checkpoint.Decoder) error {
+	capacity := d.Int()
+	size := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if capacity != p.capacity {
+		return fmt.Errorf("replay: checkpoint capacity %d, live prioritized buffer %d", capacity, p.capacity)
+	}
+	if size < 0 || size > capacity || size*transitionMinBytes > d.Remaining() {
+		return fmt.Errorf("replay: stored count %d out of range", size)
+	}
+	for i := range p.data {
+		p.data[i] = Transition{}
+	}
+	for i := 0; i < size; i++ {
+		p.data[i] = decodeTransition(d)
+	}
+	p.size = size
+	p.next = d.Int()
+	p.maxPrio = d.F64()
+	p.samples = d.Int()
+	nonzero := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if p.next < 0 || p.next >= capacity {
+		return fmt.Errorf("replay: ring cursor %d out of range [0,%d)", p.next, capacity)
+	}
+	// maxPrio starts at 1 and only ever grows through ordered
+	// comparisons, so anything below 1 (including NaN) cannot be live
+	// state. +Inf can: an unguarded manager fed faulted observations
+	// produces infinite TD errors, and a faithful restore keeps them.
+	if !(p.maxPrio >= 1) {
+		return fmt.Errorf("replay: max priority %v cannot occur in a live buffer", p.maxPrio)
+	}
+	if p.samples < 0 {
+		return fmt.Errorf("replay: negative sample count %d", p.samples)
+	}
+	numNodes := len(p.tree.nodes)
+	if nonzero < 0 || nonzero > numNodes || nonzero*16 > d.Remaining() {
+		return fmt.Errorf("replay: sum-tree node count %d out of range", nonzero)
+	}
+	for i := range p.tree.nodes {
+		p.tree.nodes[i] = 0
+	}
+	for i := 0; i < nonzero; i++ {
+		idx := d.Int()
+		val := d.F64()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if idx < 0 || idx >= numNodes {
+			return fmt.Errorf("replay: sum-tree node index %d out of range [0,%d)", idx, numNodes)
+		}
+		// Negative priorities cannot arise (|td|+ε raised to α ≥ 0), but
+		// NaN and +Inf can when the learner was fed faulted observations;
+		// restoring them exactly is required for bit-identical resume.
+		if val < 0 {
+			return fmt.Errorf("replay: sum-tree node %d value %v must be non-negative", idx, val)
+		}
+		p.tree.nodes[idx] = val
+	}
+	return d.Err()
+}

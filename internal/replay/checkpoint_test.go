@@ -1,0 +1,199 @@
+package replay
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/checkpoint"
+)
+
+func randomTransition(rng *rand.Rand, stateDim, branches, agents int) Transition {
+	t := Transition{
+		State:     make([]float64, stateDim),
+		NextState: make([]float64, stateDim),
+		Actions:   make([]int, branches),
+		Rewards:   make([]float64, agents),
+		Done:      rng.Float64() < 0.1,
+	}
+	for i := range t.State {
+		t.State[i] = rng.NormFloat64()
+		t.NextState[i] = rng.NormFloat64()
+	}
+	for i := range t.Actions {
+		t.Actions[i] = rng.Intn(7)
+	}
+	for i := range t.Rewards {
+		t.Rewards[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+func sameTransition(a, b Transition) bool {
+	if a.Done != b.Done || len(a.State) != len(b.State) || len(a.Actions) != len(b.Actions) ||
+		len(a.Rewards) != len(b.Rewards) || len(a.NextState) != len(b.NextState) {
+		return false
+	}
+	for i := range a.State {
+		if a.State[i] != b.State[i] || a.NextState[i] != b.NextState[i] {
+			return false
+		}
+	}
+	for i := range a.Actions {
+		if a.Actions[i] != b.Actions[i] {
+			return false
+		}
+	}
+	for i := range a.Rewards {
+		if a.Rewards[i] != b.Rewards[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// exercise fills a prioritised buffer with adds, samples and priority
+// updates so the sum-tree internal nodes accumulate genuine
+// floating-point update history (the thing a rebuild-from-leaves
+// restore would get wrong).
+func exercisePrioritized(p *Prioritized, rng *rand.Rand, steps int) {
+	for i := 0; i < steps; i++ {
+		p.Add(randomTransition(rng, 6, 4, 2))
+		if p.Len() >= 8 && i%3 == 0 {
+			b := p.Sample(8, rng)
+			td := make([]float64, len(b.Indices))
+			for j := range td {
+				td[j] = rng.NormFloat64()
+			}
+			p.UpdatePriorities(b.Indices, td)
+		}
+	}
+}
+
+func TestPrioritizedRoundTrip(t *testing.T) {
+	const capacity = 64
+	rng := rand.New(rand.NewSource(11))
+	orig := NewPrioritized(capacity, 0.6, 0.4, 1000)
+	exercisePrioritized(orig, rng, 150) // > capacity: the ring has wrapped
+
+	e := checkpoint.NewEncoder()
+	orig.EncodeState(e)
+
+	restored := NewPrioritized(capacity, 0.6, 0.4, 1000)
+	d := checkpoint.NewDecoder(e.Bytes())
+	if err := restored.DecodeState(d); err != nil {
+		t.Fatalf("DecodeState: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left after decode", d.Remaining())
+	}
+
+	// Exact sum-tree state: total, every node, every per-slot priority.
+	if got, want := restored.tree.total(), orig.tree.total(); got != want {
+		t.Fatalf("tree total %v != %v", got, want)
+	}
+	for i := range orig.tree.nodes {
+		if restored.tree.nodes[i] != orig.tree.nodes[i] {
+			t.Fatalf("tree node %d: %v != %v", i, restored.tree.nodes[i], orig.tree.nodes[i])
+		}
+	}
+	for i := 0; i < orig.size; i++ {
+		if restored.tree.get(i) != orig.tree.get(i) {
+			t.Fatalf("slot %d priority %v != %v", i, restored.tree.get(i), orig.tree.get(i))
+		}
+	}
+	// Scalar state: β-anneal position, max-priority, cursors.
+	if restored.samples != orig.samples || restored.beta() != orig.beta() {
+		t.Fatalf("β-anneal position: samples %d/β %v, want %d/%v",
+			restored.samples, restored.beta(), orig.samples, orig.beta())
+	}
+	if restored.maxPrio != orig.maxPrio || restored.next != orig.next || restored.size != orig.size {
+		t.Fatalf("cursors: maxPrio %v next %d size %d, want %v %d %d",
+			restored.maxPrio, restored.next, restored.size, orig.maxPrio, orig.next, orig.size)
+	}
+	for i := 0; i < orig.size; i++ {
+		if !sameTransition(restored.data[i], orig.data[i]) {
+			t.Fatalf("transition %d differs after round-trip", i)
+		}
+	}
+
+	// Subsequent draws from identical RNG streams must match exactly —
+	// indices, weights and transition identities — through further
+	// mutation (adds and priority updates) on both sides.
+	rngA := rand.New(rand.NewSource(99))
+	rngB := rand.New(rand.NewSource(99))
+	mutA := rand.New(rand.NewSource(7))
+	mutB := rand.New(rand.NewSource(7))
+	for round := 0; round < 20; round++ {
+		ba := orig.Sample(16, rngA)
+		bb := restored.Sample(16, rngB)
+		for i := range ba.Indices {
+			if ba.Indices[i] != bb.Indices[i] {
+				t.Fatalf("round %d draw %d: index %d != %d", round, i, ba.Indices[i], bb.Indices[i])
+			}
+			if ba.Weights[i] != bb.Weights[i] {
+				t.Fatalf("round %d draw %d: weight %v != %v", round, i, ba.Weights[i], bb.Weights[i])
+			}
+			if !sameTransition(ba.Transitions[i], bb.Transitions[i]) {
+				t.Fatalf("round %d draw %d: transitions differ", round, i)
+			}
+		}
+		td := make([]float64, len(ba.Indices))
+		for j := range td {
+			td[j] = mutA.NormFloat64()
+		}
+		orig.UpdatePriorities(ba.Indices, td)
+		tdB := make([]float64, len(bb.Indices))
+		for j := range tdB {
+			tdB[j] = mutB.NormFloat64()
+		}
+		restored.UpdatePriorities(bb.Indices, tdB)
+		orig.Add(randomTransition(mutA, 6, 4, 2))
+		restored.Add(randomTransition(mutB, 6, 4, 2))
+	}
+}
+
+func TestUniformRoundTrip(t *testing.T) {
+	const capacity = 32
+	rng := rand.New(rand.NewSource(5))
+	orig := NewUniform(capacity)
+	for i := 0; i < 50; i++ { // wraps the ring
+		orig.Add(randomTransition(rng, 4, 3, 2))
+	}
+	e := checkpoint.NewEncoder()
+	orig.EncodeState(e)
+
+	restored := NewUniform(capacity)
+	if err := restored.DecodeState(checkpoint.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.next != orig.next || restored.full != orig.full || restored.Len() != orig.Len() {
+		t.Fatalf("cursors differ: next %d full %v len %d, want %d %v %d",
+			restored.next, restored.full, restored.Len(), orig.next, orig.full, orig.Len())
+	}
+	rngA, rngB := rand.New(rand.NewSource(3)), rand.New(rand.NewSource(3))
+	ba, bb := orig.Sample(16, rngA), restored.Sample(16, rngB)
+	for i := range ba.Indices {
+		if ba.Indices[i] != bb.Indices[i] || !sameTransition(ba.Transitions[i], bb.Transitions[i]) {
+			t.Fatalf("draw %d differs after round-trip", i)
+		}
+	}
+}
+
+func TestBufferKindMismatch(t *testing.T) {
+	e := checkpoint.NewEncoder()
+	EncodeBufferKind(e, NewUniform(4))
+	if err := CheckBufferKind(checkpoint.NewDecoder(e.Bytes()), NewPrioritized(4, 0.6, 0.4, 10)); err == nil {
+		t.Fatal("uniform checkpoint accepted by prioritized buffer")
+	}
+}
+
+func TestDecodeCapacityMismatch(t *testing.T) {
+	orig := NewPrioritized(16, 0.6, 0.4, 10)
+	orig.Add(randomTransition(rand.New(rand.NewSource(1)), 4, 2, 1))
+	e := checkpoint.NewEncoder()
+	orig.EncodeState(e)
+	other := NewPrioritized(32, 0.6, 0.4, 10)
+	if err := other.DecodeState(checkpoint.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("capacity mismatch accepted")
+	}
+}

@@ -3,6 +3,8 @@ package replay
 import (
 	"math"
 	"math/rand"
+
+	"github.com/twig-sched/twig/internal/checkpoint"
 )
 
 // Transition is one (s, a, r, s′) interaction of the multi-agent BDQ with
@@ -61,6 +63,13 @@ type Buffer interface {
 	UpdatePriorities(indices []int, tdErrors []float64)
 	// Len returns the number of stored transitions.
 	Len() int
+	// EncodeState and DecodeState checkpoint the buffer contents —
+	// transitions, ring cursors and, for the prioritised buffer, exact
+	// sum-tree node values and the β-anneal position — so resumed
+	// Sample draws are bit-identical. DecodeState expects a buffer
+	// constructed with the same capacity and configuration.
+	EncodeState(e *checkpoint.Encoder)
+	DecodeState(d *checkpoint.Decoder) error
 }
 
 // Uniform is a fixed-capacity ring buffer with uniform sampling.

@@ -1,0 +1,85 @@
+package rng
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/checkpoint"
+)
+
+// The wrapper must not perturb the stream: every derived draw type has
+// to match a raw math/rand generator with the same seed.
+func TestStreamMatchesStdlib(t *testing.T) {
+	ours := New(42)
+	ref := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		switch i % 5 {
+		case 0:
+			if a, b := ours.Float64(), ref.Float64(); a != b {
+				t.Fatalf("Float64 diverged at draw %d: %v vs %v", i, a, b)
+			}
+		case 1:
+			if a, b := ours.Intn(97), ref.Intn(97); a != b {
+				t.Fatalf("Intn diverged at draw %d: %d vs %d", i, a, b)
+			}
+		case 2:
+			if a, b := ours.NormFloat64(), ref.NormFloat64(); a != b {
+				t.Fatalf("NormFloat64 diverged at draw %d: %v vs %v", i, a, b)
+			}
+		case 3:
+			if a, b := ours.Uint64(), ref.Uint64(); a != b {
+				t.Fatalf("Uint64 diverged at draw %d: %d vs %d", i, a, b)
+			}
+		case 4:
+			if a, b := ours.ExpFloat64(), ref.ExpFloat64(); a != b {
+				t.Fatalf("ExpFloat64 diverged at draw %d: %v vs %v", i, a, b)
+			}
+		}
+	}
+}
+
+// Restore mid-stream and check the continuation is the exact suffix the
+// uninterrupted generator produces.
+func TestRoundTripResumesExactly(t *testing.T) {
+	orig := New(7)
+	for i := 0; i < 137; i++ {
+		orig.Float64()
+		if i%3 == 0 {
+			orig.NormFloat64() // variable draws per call via rejection sampling
+		}
+	}
+	e := checkpoint.NewEncoder()
+	orig.Source().EncodeState(e)
+
+	restored := New(999) // wrong seed, wrong position: DecodeState must fix both
+	d := checkpoint.NewDecoder(e.Bytes())
+	if err := restored.Source().DecodeState(d); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if a, b := orig.Uint64(), restored.Uint64(); a != b {
+			t.Fatalf("diverged %d draws after restore: %d vs %d", i, a, b)
+		}
+	}
+	seed, _ := restored.Source().Pos()
+	if seed != 7 {
+		t.Fatalf("restored seed %d, want 7", seed)
+	}
+}
+
+func TestDecodeRejectsHostileCount(t *testing.T) {
+	e := checkpoint.NewEncoder()
+	e.I64(1)
+	e.U64(1 << 60) // absurd draw count must error, not hang
+	d := checkpoint.NewDecoder(e.Bytes())
+	if err := NewSource(0).DecodeState(d); err == nil {
+		t.Fatal("hostile draw count accepted")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	d := checkpoint.NewDecoder([]byte{1, 2, 3})
+	if err := NewSource(0).DecodeState(d); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}

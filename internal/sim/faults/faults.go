@@ -13,8 +13,9 @@ package faults
 
 import (
 	"fmt"
-	"math/rand"
 
+	"github.com/twig-sched/twig/internal/checkpoint"
+	"github.com/twig-sched/twig/internal/rng"
 	"github.com/twig-sched/twig/internal/sim/pmc"
 )
 
@@ -236,7 +237,7 @@ func Names() []string {
 // fault sequence.
 type Injector struct {
 	sc    Scenario
-	rng   *rand.Rand
+	rng   *rng.Rand
 	k     int
 	cores []int
 
@@ -250,7 +251,7 @@ type Injector struct {
 func NewInjector(sc Scenario, seed int64, numServices int, managedCores []int) *Injector {
 	return &Injector{
 		sc:    sc.withDefaults(),
-		rng:   rand.New(rand.NewSource(seed)),
+		rng:   rng.New(seed),
 		k:     numServices,
 		cores: append([]int(nil), managedCores...),
 	}
@@ -352,4 +353,99 @@ func (inj *Injector) duration() int {
 func (inj *Injector) add(e Event) {
 	inj.active = append(inj.active, e)
 	inj.log = append(inj.log, e)
+}
+
+func encodeEvent(e *checkpoint.Encoder, ev Event) {
+	e.Int(int(ev.Kind))
+	e.Int(ev.Service)
+	e.Int(ev.Core)
+	e.Int(ev.Counter)
+	e.Int(ev.Start)
+	e.Int(ev.Duration)
+	e.F64(ev.Magnitude)
+}
+
+func decodeEvent(d *checkpoint.Decoder) (Event, error) {
+	ev := Event{
+		Kind:      Kind(d.Int()),
+		Service:   d.Int(),
+		Core:      d.Int(),
+		Counter:   d.Int(),
+		Start:     d.Int(),
+		Duration:  d.Int(),
+		Magnitude: d.F64(),
+	}
+	if err := d.Err(); err != nil {
+		return Event{}, err
+	}
+	if ev.Kind < 0 || ev.Kind >= numKinds {
+		return Event{}, fmt.Errorf("faults: unknown fault kind %d in checkpoint", int(ev.Kind))
+	}
+	return ev, nil
+}
+
+const eventEncodedBytes = 7 * 8
+
+func encodeEvents(e *checkpoint.Encoder, evs []Event) {
+	e.Int(len(evs))
+	for _, ev := range evs {
+		encodeEvent(e, ev)
+	}
+}
+
+func decodeEvents(d *checkpoint.Decoder) ([]Event, error) {
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || n*eventEncodedBytes > d.Remaining() {
+		return nil, fmt.Errorf("faults: event list length %d exceeds payload", n)
+	}
+	var evs []Event
+	for i := 0; i < n; i++ {
+		ev, err := decodeEvent(d)
+		if err != nil {
+			return nil, err
+		}
+		evs = append(evs, ev)
+	}
+	return evs, nil
+}
+
+// EncodeState writes the injector's schedule position: interval clock,
+// currently active events, the full event log (so Log() survives a
+// restore) and the RNG position. The scenario itself is configuration
+// and is re-supplied at construction; its name goes in as a fingerprint.
+func (inj *Injector) EncodeState(e *checkpoint.Encoder) {
+	e.String(inj.sc.Name)
+	e.Int(inj.k)
+	e.Int(inj.t)
+	encodeEvents(e, inj.active)
+	encodeEvents(e, inj.log)
+	inj.rng.Source().EncodeState(e)
+}
+
+// DecodeState restores schedule position into an injector built with the
+// same scenario and victim counts.
+func (inj *Injector) DecodeState(d *checkpoint.Decoder) error {
+	name := d.String()
+	k := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if name != inj.sc.Name {
+		return fmt.Errorf("faults: checkpoint is for scenario %q, injector runs %q", name, inj.sc.Name)
+	}
+	if k != inj.k {
+		return fmt.Errorf("faults: checkpoint covers %d services, injector has %d", k, inj.k)
+	}
+	inj.t = d.Int()
+	var err error
+	if inj.active, err = decodeEvents(d); err != nil {
+		return err
+	}
+	if inj.log, err = decodeEvents(d); err != nil {
+		return err
+	}
+	return inj.rng.Source().DecodeState(d)
 }

@@ -9,6 +9,8 @@ package platform
 import (
 	"fmt"
 	"math"
+
+	"github.com/twig-sched/twig/internal/checkpoint"
 )
 
 // DVFS constants of the evaluation platform (Sec. V).
@@ -207,6 +209,47 @@ func (p *Platform) ShareOf(service, coreID int) float64 {
 		}
 	}
 	return 0
+}
+
+// EncodeState writes the mutable hardware state: per-core DVFS setting,
+// online flag and affinity owners. The machine shape is configuration
+// and goes in as a fingerprint.
+func (p *Platform) EncodeState(e *checkpoint.Encoder) {
+	e.Int(p.cfg.Sockets)
+	e.Int(p.cfg.CoresPerSocket)
+	for _, c := range p.cores {
+		e.F64(c.FreqGHz)
+		e.Bool(c.Online)
+		e.Ints(c.Owners)
+	}
+}
+
+// DecodeState restores state written by EncodeState into a platform of
+// the same shape.
+func (p *Platform) DecodeState(d *checkpoint.Decoder) error {
+	sockets, cps := d.Int(), d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if sockets != p.cfg.Sockets || cps != p.cfg.CoresPerSocket {
+		return fmt.Errorf("platform: checkpoint is for %d×%d cores, this machine is %d×%d",
+			sockets, cps, p.cfg.Sockets, p.cfg.CoresPerSocket)
+	}
+	for i := range p.cores {
+		freq := d.F64()
+		online := d.Bool()
+		owners := d.Ints()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if math.IsNaN(freq) || freq < MinFreqGHz || freq > MaxFreqGHz {
+			return fmt.Errorf("platform: core %d frequency %v GHz outside [%v,%v]", i, freq, MinFreqGHz, MaxFreqGHz)
+		}
+		p.cores[i].FreqGHz = freq
+		p.cores[i].Online = online
+		p.cores[i].Owners = owners
+	}
+	return nil
 }
 
 func (p *Platform) check(id int) {

@@ -13,8 +13,10 @@ package service
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
+
+	"github.com/twig-sched/twig/internal/checkpoint"
+	"github.com/twig-sched/twig/internal/rng"
 )
 
 // Profile is the static characterisation of one service.
@@ -137,7 +139,7 @@ type Instance struct {
 	meanWork float64
 	lnMu     float64
 
-	rng     *rand.Rand
+	rng     *rng.Rand
 	pending []Request
 	now     float64
 
@@ -170,7 +172,7 @@ func NewInstance(p Profile, fullCores int, seed int64) *Instance {
 		Profile:    p,
 		meanWork:   mean,
 		lnMu:       math.Log(mean) - p.WorkSigma*p.WorkSigma/2,
-		rng:        rand.New(rand.NewSource(seed)),
+		rng:        rng.New(seed),
 		maxBacklog: backlog,
 	}
 }
@@ -334,6 +336,62 @@ func (s *Instance) capBacklog(st *IntervalStats) {
 		st.Dropped = len(s.pending) - s.maxBacklog
 		s.pending = s.pending[st.Dropped:]
 	}
+}
+
+// EncodeState writes the instance's mutable runtime state: clock,
+// in-flight queue, trailing latency window and RNG position. Static
+// calibration (meanWork, lnMu, maxBacklog) is re-derived from the
+// profile at construction; the profile name goes in as a fingerprint so
+// a checkpoint cannot restore into the wrong service.
+func (s *Instance) EncodeState(e *checkpoint.Encoder) {
+	e.String(s.Profile.Name)
+	e.F64(s.now)
+	e.Int(len(s.pending))
+	for _, r := range s.pending {
+		e.F64(r.Arrival)
+		e.F64(r.Work)
+	}
+	e.Int(len(s.window))
+	for _, w := range s.window {
+		e.F64s(w)
+	}
+	s.rng.Source().EncodeState(e)
+}
+
+// DecodeState restores state written by EncodeState into an instance
+// built from the same profile.
+func (s *Instance) DecodeState(d *checkpoint.Decoder) error {
+	name := d.String()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if name != s.Profile.Name {
+		return fmt.Errorf("service: checkpoint is for %q, this instance runs %q", name, s.Profile.Name)
+	}
+	s.now = d.F64()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n < 0 || n*16 > d.Remaining() {
+		return fmt.Errorf("service: pending queue length %d exceeds payload", n)
+	}
+	s.pending = s.pending[:0]
+	for i := 0; i < n; i++ {
+		s.pending = append(s.pending, Request{Arrival: d.F64(), Work: d.F64()})
+	}
+	m := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if m < 0 || m > LatencyWindowIntervals {
+		return fmt.Errorf("service: latency window of %d intervals exceeds maximum %d", m, LatencyWindowIntervals)
+	}
+	s.window = nil
+	for i := 0; i < m; i++ {
+		s.window = append(s.window, d.F64s())
+	}
+	return s.rng.Source().DecodeState(d)
 }
 
 func quantileSorted(sorted []float64, q float64) float64 {

@@ -9,8 +9,8 @@ package sim
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
+	"github.com/twig-sched/twig/internal/rng"
 	"github.com/twig-sched/twig/internal/sim/batch"
 	"github.com/twig-sched/twig/internal/sim/faults"
 	"github.com/twig-sched/twig/internal/sim/interference"
@@ -128,6 +128,10 @@ type Server struct {
 	synth  *pmc.Synthesizer
 	maxima pmc.Sample
 
+	// Measurement-noise streams, retained for checkpointing.
+	powSrc   *rng.Source
+	synthSrc *rng.Source
+
 	clock      int
 	energyJ    float64
 	batchWorkJ float64
@@ -146,14 +150,17 @@ type Server struct {
 // NewServer builds a simulated server hosting the given services.
 func NewServer(cfg Config, specs []ServiceSpec) *Server {
 	plat := platform.New(cfg.Platform)
-	mrng := rand.New(rand.NewSource(cfg.MeasurementSeed + 1))
+	mrng := rng.New(cfg.MeasurementSeed + 1)
+	srng := rng.New(cfg.MeasurementSeed + 2)
 	s := &Server{
 		cfg:       cfg,
 		plat:      plat,
 		specs:     specs,
 		interf:    interference.New(cfg.Interference),
-		pow:       power.New(cfg.Power, mrng),
-		synth:     pmc.NewSynthesizer(rand.New(rand.NewSource(cfg.MeasurementSeed+2)), cfg.PMCNoise),
+		pow:       power.New(cfg.Power, mrng.Rand),
+		synth:     pmc.NewSynthesizer(srng.Rand, cfg.PMCNoise),
+		powSrc:    mrng.Source(),
+		synthSrc:  srng.Source(),
 		maxima:    pmc.CalibrationMaxima(cfg.Platform.CoresPerSocket, platform.MaxFreqGHz),
 		downed:    map[int]bool{},
 		crashPrev: make([]bool, len(specs)),
