@@ -327,7 +327,8 @@ func (a *Agent) TrainStep() float64 {
 	// gradient: only the taken action of each branch receives error.
 	// Note this second online forward overwrites onlineNext (both use the
 	// network's batch-n Output workspace); argmax was extracted above.
-	a.online.ZeroGrad()
+	// Gradients are already zero: parameters start that way and the
+	// optimiser step below clears them as it consumes them.
 	out := a.online.Forward(states, true)
 	gradQ := ws.gradQ
 	var loss float64
@@ -360,7 +361,7 @@ func (a *Agent) TrainStep() float64 {
 		}
 	}
 	a.online.Backward(gradQ)
-	a.opt.Step(a.online.Params())
+	a.opt.StepAndZeroGrad(a.online.Params())
 	a.buffer.UpdatePriorities(batch.Indices, tdErr)
 
 	a.trainSteps++

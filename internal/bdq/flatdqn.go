@@ -27,7 +27,7 @@ func NewFlatDQN(stateDim int, dims []int, hidden []int, rng *rand.Rand) *FlatDQN
 	var layers []nn.Layer
 	in := stateDim
 	for i, h := range hidden {
-		layers = append(layers, nn.NewDense(flatName("h", i), in, h, rng), nn.NewReLU())
+		layers = append(layers, nn.NewDenseReLU(flatName("h", i), in, h, rng))
 		in = h
 	}
 	layers = append(layers, nn.NewDense("out", in, out, rng))

@@ -123,7 +123,7 @@ func NewNetwork(spec Spec, rng *rand.Rand) *Network {
 	var layers []nn.Layer
 	in := spec.StateDim
 	for i, h := range spec.SharedHidden {
-		layers = append(layers, nn.NewDense(fmt.Sprintf("shared%d", i), in, h, rng), nn.NewReLU())
+		layers = append(layers, nn.NewDenseReLU(fmt.Sprintf("shared%d", i), in, h, rng))
 		if spec.Dropout > 0 {
 			layers = append(layers, nn.NewDropout(spec.Dropout, rng))
 		}
@@ -138,15 +138,13 @@ func NewNetwork(spec Spec, rng *rand.Rand) *Network {
 	}
 	for k := 0; k < numValues; k++ {
 		n.values = append(n.values, nn.NewSequential(
-			nn.NewDense(fmt.Sprintf("value%d.h", k), repr, spec.BranchHidden, rng),
-			nn.NewReLU(),
+			nn.NewDenseReLU(fmt.Sprintf("value%d.h", k), repr, spec.BranchHidden, rng),
 			nn.NewDense(fmt.Sprintf("value%d.out", k), spec.BranchHidden, 1, rng),
 		))
 	}
 	for d := range spec.Dims {
 		n.advHidden = append(n.advHidden, nn.NewSequential(
-			nn.NewDense(fmt.Sprintf("adv%d.h", d), repr, spec.BranchHidden, rng),
-			nn.NewReLU(),
+			nn.NewDenseReLU(fmt.Sprintf("adv%d.h", d), repr, spec.BranchHidden, rng),
 		))
 	}
 	n.advOut = make([][]*nn.Dense, spec.Agents)

@@ -107,10 +107,8 @@ func fitAndEval(trainX [][]float64, trainY []float64, testX [][]float64, testY [
 	rng := rand.New(rand.NewSource(seed))
 	in := len(trainX[0])
 	net := nn.NewSequential(
-		nn.NewDense("h1", in, 32, rng),
-		nn.NewReLU(),
-		nn.NewDense("h2", 32, 16, rng),
-		nn.NewReLU(),
+		nn.NewDenseReLU("h1", in, 32, rng),
+		nn.NewDenseReLU("h2", 32, 16, rng),
 		nn.NewDense("out", 16, 1, rng),
 	)
 	opt := nn.NewAdam(0.003)
@@ -131,11 +129,10 @@ func fitAndEval(trainX [][]float64, trainY []float64, testX [][]float64, testY [
 				copy(xb.Row(b), trainX[j])
 				yb.Set(b, 0, trainY[j]/yMax)
 			}
-			net.ZeroGrad()
 			pred := net.Forward(xb, true)
 			_, grad := nn.MSE(pred, yb)
 			net.Backward(grad)
-			opt.Step(net.Params())
+			opt.StepAndZeroGrad(net.Params())
 		}
 	}
 

@@ -1,0 +1,169 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential fuzzing of the tiled GEMM path against the retained naive
+// kernels (mulRange / mulTransARange / mulTransBRange). The contract is
+// bitwise equality — math.Float64bits, not tolerance — for arbitrary
+// shapes (including 0-row/0-col and non-multiples of the 4×8 tile),
+// data with exact zeros (exercising the skip path), and both the AVX2
+// and portable microkernels at serial and parallel fan-out.
+
+// fuzzFill deterministically fills data from the seed, planting exact
+// zeros, negative zeros, denormals and large-magnitude values so the
+// skip logic and rounding behaviour are both exercised.
+func fuzzFill(data []float64, rng *rand.Rand) {
+	for i := range data {
+		switch rng.Intn(8) {
+		case 0:
+			data[i] = 0
+		case 1:
+			data[i] = math.Copysign(0, -1)
+		case 2:
+			data[i] = rng.NormFloat64() * 1e-308 // denormal-ish
+		case 3:
+			data[i] = rng.NormFloat64() * 1e150
+		default:
+			data[i] = rng.NormFloat64()
+		}
+	}
+}
+
+// clampDim maps a raw fuzz byte to a dimension in [0, 67], covering
+// empty matrices, the minPackRows boundary and ragged tile edges.
+func clampDim(b byte) int { return int(b) % 68 }
+
+// requireBitsEqual fails if got and want differ in any bit.
+func requireBitsEqual(t *testing.T, tag string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d != %dx%d", tag, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, w := range want.Data {
+		g := got.Data[i]
+		if math.Float64bits(g) != math.Float64bits(w) {
+			t.Fatalf("%s: element %d: got %x (%v) want %x (%v)",
+				tag, i, math.Float64bits(g), g, math.Float64bits(w), w)
+		}
+	}
+}
+
+// withKernels runs fn under every microkernel selection available on
+// this platform (AVX2 assembly and the portable Go path) and restores
+// the detected default.
+func withKernels(t *testing.T, fn func(kernel string)) {
+	t.Helper()
+	saved := haveAVX2
+	defer func() { haveAVX2 = saved }()
+	haveAVX2 = false
+	fn("go")
+	if saved {
+		haveAVX2 = true
+		fn("avx2")
+	}
+}
+
+// withParallelism runs fn at fan-out 1 and 8 and restores the setting.
+func withParallelism(t *testing.T, fn func(par int)) {
+	t.Helper()
+	saved := Parallelism()
+	defer SetParallelism(saved)
+	for _, par := range []int{1, 8} {
+		SetParallelism(par)
+		fn(par)
+	}
+}
+
+func FuzzMulMatchesNaive(f *testing.F) {
+	f.Add(int64(1), byte(64), byte(22), byte(512%68))
+	f.Add(int64(2), byte(1), byte(22), byte(512%68))
+	f.Add(int64(3), byte(0), byte(5), byte(7))
+	f.Add(int64(4), byte(9), byte(0), byte(9))
+	f.Add(int64(5), byte(9), byte(9), byte(0))
+	f.Add(int64(6), byte(7), byte(3), byte(11)) // below minPackRows
+	f.Add(int64(7), byte(8), byte(1), byte(8))  // exactly at the gate
+	f.Add(int64(8), byte(13), byte(5), byte(17))
+	f.Fuzz(func(t *testing.T, seed int64, mb, kb, nb byte) {
+		m, k, n := clampDim(mb), clampDim(kb), clampDim(nb)
+		rng := rand.New(rand.NewSource(seed))
+		a := New(m, k)
+		b := New(k, n)
+		fuzzFill(a.Data, rng)
+		fuzzFill(b.Data, rng)
+
+		want := New(m, n)
+		mulRange(want, a, b, 0, m) // retained naive reference
+
+		withKernels(t, func(kernel string) {
+			withParallelism(t, func(par int) {
+				got := New(m, n)
+				fuzzFill(got.Data, rng) // ensure dst is fully overwritten
+				Mul(got, a, b)
+				requireBitsEqual(t, "Mul/"+kernel, got, want)
+
+				// MulTransB against its naive reference, reusing the
+				// same operands: dst2 = a·(bᵀ)ᵀ needs b transposed.
+				bt := New(n, k)
+				for i := 0; i < k; i++ {
+					for j := 0; j < n; j++ {
+						bt.Set(j, i, b.At(i, j))
+					}
+				}
+				want2 := New(m, n)
+				mulTransBRange(want2, a, bt, 0, m)
+				got2 := New(m, n)
+				fuzzFill(got2.Data, rng)
+				MulTransB(got2, a, bt)
+				requireBitsEqual(t, "MulTransB/"+kernel, got2, want2)
+			})
+		})
+	})
+}
+
+func FuzzMulTransAMatchesNaive(f *testing.F) {
+	f.Add(int64(1), byte(64), byte(512%68), byte(256%68))
+	f.Add(int64(2), byte(64), byte(18), byte(18))
+	f.Add(int64(3), byte(0), byte(5), byte(7))
+	f.Add(int64(4), byte(9), byte(0), byte(9))
+	f.Add(int64(5), byte(9), byte(9), byte(0))
+	f.Add(int64(6), byte(3), byte(7), byte(11)) // dst rows below minPackRows
+	f.Add(int64(7), byte(5), byte(8), byte(8))  // exactly at the gate
+	f.Fuzz(func(t *testing.T, seed int64, kb, mb, nb byte) {
+		k, m, n := clampDim(kb), clampDim(mb), clampDim(nb)
+		rng := rand.New(rand.NewSource(seed))
+		a := New(k, m) // dst = aᵀ·b is m×n
+		b := New(k, n)
+		fuzzFill(a.Data, rng)
+		fuzzFill(b.Data, rng)
+
+		want := New(m, n)
+		mulTransARange(want, a, b, 0, m) // retained naive reference
+
+		// The accumulate variant's reference is the unfused pair it
+		// replaces — tmp = aᵀ·b (naive), dst += 1·tmp — starting from a
+		// non-trivial dst.
+		dst0 := New(m, n)
+		fuzzFill(dst0.Data, rng)
+		wantAcc := dst0.Clone()
+		tmp := New(m, n)
+		mulTransARange(tmp, a, b, 0, m)
+		wantAcc.AddScaled(1, tmp)
+
+		withKernels(t, func(kernel string) {
+			withParallelism(t, func(par int) {
+				got := New(m, n)
+				fuzzFill(got.Data, rng)
+				MulTransA(got, a, b)
+				requireBitsEqual(t, "MulTransA/"+kernel, got, want)
+
+				gotAcc := dst0.Clone()
+				MulTransAAcc(gotAcc, a, b)
+				requireBitsEqual(t, "MulTransAAcc/"+kernel, gotAcc, wantAcc)
+			})
+		})
+	})
+}

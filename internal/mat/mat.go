@@ -59,10 +59,19 @@ func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []float64 {
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = m.Data[i*m.Cols+j]
-	}
+	m.ColInto(out, j)
 	return out
+}
+
+// ColInto writes column j of m into dst (length Rows) — the
+// allocation-free variant of Col for reusable workspaces.
+func (m *Matrix) ColInto(dst []float64, j int) {
+	if len(dst) != m.Rows {
+		panic("mat: ColInto length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Data[i*m.Cols+j]
+	}
 }
 
 // Clone returns a deep copy of m.
@@ -95,29 +104,71 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 }
 
 // Mul computes dst = a·b. dst must be a.Rows×b.Cols and may not alias a
-// or b. Large products fan out across goroutines (see SetParallelism),
-// partitioned by destination row so the result is bit-identical to
-// serial execution.
+// or b. Large products run on the cache-blocked, register-tiled kernel
+// (see tiled.go); small ones stay on the streaming kernel. Both paths
+// accumulate every destination element in ascending k order with
+// individual roundings, so results are bit-identical across the tiled,
+// streaming, serial and parallel (see SetParallelism) variants.
 func Mul(dst, a, b *Matrix) {
+	MulBiasAct(dst, a, b, nil, ActIdentity)
+}
+
+// MulBiasAct computes dst = act(a·b + bias) in one pass: the bias
+// broadcast (when bias is non-nil, length b.Cols) and activation are
+// applied in the GEMM epilogue while the result tile is still hot,
+// instead of re-walking dst afterwards. Bitwise it is exactly
+// Mul + AddRowBroadcast + activation applied element-wise.
+func MulBiasAct(dst, a, b *Matrix, bias []float64, act Activation) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: Mul dims (%dx%d)·(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
+	if bias != nil && len(bias) != b.Cols {
+		panic("mat: MulBiasAct bias length mismatch")
+	}
 	flops := a.Rows * a.Cols * b.Cols
+	if a.Rows >= minPackRows && a.Cols > 0 && b.Cols > 0 {
+		bp := packB(b)
+		if useParallel(a.Rows, flops) {
+			parallelRows(a.Rows, func(r0, r1 int) {
+				gemmPackedRange(dst, a, bp.Data, r0, r1, true, false, bias, act)
+			})
+		} else {
+			gemmPackedRange(dst, a, bp.Data, 0, a.Rows, true, false, bias, act)
+		}
+		PutScratch(bp)
+		return
+	}
 	if useParallel(a.Rows, flops) {
-		parallelRows(a.Rows, func(r0, r1 int) { mulRange(dst, a, b, r0, r1) })
+		parallelRows(a.Rows, func(r0, r1 int) {
+			mulRange(dst, a, b, r0, r1)
+			biasActRange(dst, r0, r1, bias, act)
+		})
 	} else {
 		mulRange(dst, a, b, 0, a.Rows)
+		biasActRange(dst, 0, a.Rows, bias, act)
 	}
 }
 
 // MulTransA computes dst = aᵀ·b. dst must be a.Cols×b.Cols. Large
-// products fan out across goroutines with bit-identical results.
+// products run on the tiled kernel; all paths are bit-identical.
 func MulTransA(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic("mat: MulTransA dimension mismatch")
 	}
 	flops := a.Rows * a.Cols * b.Cols
+	if a.Cols >= minPackRows && a.Rows > 0 && b.Cols > 0 {
+		bp := packB(b)
+		if useParallel(a.Cols, flops) {
+			parallelRows(a.Cols, func(r0, r1 int) {
+				gemmTransAPackedRange(dst, a, bp.Data, r0, r1, false)
+			})
+		} else {
+			gemmTransAPackedRange(dst, a, bp.Data, 0, a.Cols, false)
+		}
+		PutScratch(bp)
+		return
+	}
 	if useParallel(a.Cols, flops) {
 		parallelRows(a.Cols, func(r0, r1 int) { mulTransARange(dst, a, b, r0, r1) })
 		return
@@ -141,13 +192,55 @@ func MulTransA(dst, a, b *Matrix) {
 	}
 }
 
+// MulTransAAcc computes dst += aᵀ·b: each destination element gets its
+// fully accumulated register sum added with a single rounding. It fuses
+// the gradient-accumulation pattern `tmp = aᵀ·b; dst += tmp` into one
+// sweep — bitwise identical to that pair, since `dst[ij] + sum` is the
+// exact operation both perform.
+func MulTransAAcc(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("mat: MulTransAAcc dimension mismatch")
+	}
+	flops := a.Rows * a.Cols * b.Cols
+	if a.Cols >= minPackRows && a.Rows > 0 && b.Cols > 0 {
+		bp := packB(b)
+		if useParallel(a.Cols, flops) {
+			parallelRows(a.Cols, func(r0, r1 int) {
+				gemmTransAPackedRange(dst, a, bp.Data, r0, r1, true)
+			})
+		} else {
+			gemmTransAPackedRange(dst, a, bp.Data, 0, a.Cols, true)
+		}
+		PutScratch(bp)
+		return
+	}
+	if useParallel(a.Cols, flops) {
+		parallelRows(a.Cols, func(r0, r1 int) { mulTransAAccRange(dst, a, b, r0, r1) })
+	} else {
+		mulTransAAccRange(dst, a, b, 0, a.Cols)
+	}
+}
+
 // MulTransB computes dst = a·bᵀ. dst must be a.Rows×b.Rows. Large
-// products fan out across goroutines with bit-identical results.
+// products run on the tiled kernel; all paths are bit-identical. Like
+// Dot, this product never skips zero operands.
 func MulTransB(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic("mat: MulTransB dimension mismatch")
 	}
 	flops := a.Rows * b.Rows * a.Cols
+	if a.Rows >= minPackRows && a.Cols > 0 && b.Rows > 0 {
+		bp := packBT(b)
+		if useParallel(a.Rows, flops) {
+			parallelRows(a.Rows, func(r0, r1 int) {
+				gemmPackedRange(dst, a, bp.Data, r0, r1, false, false, nil, ActIdentity)
+			})
+		} else {
+			gemmPackedRange(dst, a, bp.Data, 0, a.Rows, false, false, nil, ActIdentity)
+		}
+		PutScratch(bp)
+		return
+	}
 	if useParallel(a.Rows, flops) {
 		parallelRows(a.Rows, func(r0, r1 int) { mulTransBRange(dst, a, b, r0, r1) })
 	} else {

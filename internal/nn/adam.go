@@ -29,24 +29,44 @@ func NewAdam(lr float64) *Adam {
 
 // Step applies one Adam update to every parameter and increments the
 // internal timestep used for bias correction.
-func (a *Adam) Step(params []*Param) {
+func (a *Adam) Step(params []*Param) { a.apply(params, false) }
+
+// StepAndZeroGrad applies one Adam update and clears each parameter's
+// gradient in the same pass, fusing the ZeroGrad that would otherwise
+// precede the next backward pass. Gradients are write-only between the
+// optimiser step and the next backward (checkpoints do not capture
+// them), so step-then-zero is exactly equivalent to zero-before-reuse.
+func (a *Adam) StepAndZeroGrad(params []*Param) { a.apply(params, true) }
+
+// apply is the single-pass Adam kernel. The per-element update is the
+// exact expression of the original loop — only loop-invariant
+// subexpressions (β constants, bias corrections, slice headers) are
+// hoisted, which does not change any rounding.
+func (a *Adam) apply(params []*Param, zeroGrad bool) {
 	a.step++
 	if a.MaxGradNorm > 0 {
 		clipGlobalNorm(params, a.MaxGradNorm)
 	}
 	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	lr, eps := a.LR, a.Epsilon
+	b1, omb1 := a.Beta1, 1-a.Beta1
+	b2, omb2 := a.Beta2, 1-a.Beta2
 	for _, p := range params {
 		if p.m == nil {
 			p.m = mat.New(p.Value.Rows, p.Value.Cols)
 			p.v = mat.New(p.Value.Rows, p.Value.Cols)
 		}
-		for i, g := range p.Grad.Data {
-			p.m.Data[i] = a.Beta1*p.m.Data[i] + (1-a.Beta1)*g
-			p.v.Data[i] = a.Beta2*p.v.Data[i] + (1-a.Beta2)*g*g
-			mHat := p.m.Data[i] / c1
-			vHat := p.v.Data[i] / c2
-			p.Value.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+		md, vd, pd, gd := p.m.Data, p.v.Data, p.Value.Data, p.Grad.Data
+		for i, g := range gd {
+			m := b1*md[i] + omb1*g
+			v := b2*vd[i] + omb2*g*g
+			md[i] = m
+			vd[i] = v
+			pd[i] -= lr * (m / c1) / (math.Sqrt(v/c2) + eps)
+			if zeroGrad {
+				gd[i] = 0
+			}
 		}
 	}
 }

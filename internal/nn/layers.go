@@ -24,17 +24,25 @@ type Layer interface {
 	Params() []*Param
 }
 
-// Dense is a fully connected layer: y = x·W + b.
+// Dense is a fully connected layer: y = x·W + b. With FuseReLU set it is
+// a Dense+ReLU pair collapsed into one layer: the activation runs in the
+// GEMM epilogue on Forward, and Backward folds the activation-gradient
+// mask and the bias column sums into a single sweep before the gradient
+// GEMMs. Both directions are bit-identical to the unfused
+// Dense-then-ReLU stack (the ReLU mask "post-activation output > 0" is
+// equivalent to "pre-activation input > 0").
 type Dense struct {
-	In, Out int
-	W       *Param // In×Out
-	B       *Param // 1×Out
+	In, Out  int
+	W        *Param // In×Out
+	B        *Param // 1×Out
+	FuseReLU bool
 
-	lastX *mat.Matrix // cached input for Backward
+	lastX   *mat.Matrix // cached input for Backward
+	lastOut *mat.Matrix // cached output (mask source when FuseReLU)
 
 	out     workspace // y, batch×Out
 	gradIn  workspace // gradient wrt input, batch×In
-	dW      *mat.Matrix
+	gm      workspace // masked gradient, batch×Out (FuseReLU only)
 	colSums []float64
 }
 
@@ -51,6 +59,15 @@ func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
 	return d
 }
 
+// NewDenseReLU creates a fused Dense+ReLU layer: one Layer that computes
+// relu(x·W + b) without materialising the pre-activation, replacing a
+// NewDense followed by NewReLU bit-for-bit.
+func NewDenseReLU(name string, in, out int, rng *rand.Rand) *Dense {
+	d := NewDense(name, in, out, rng)
+	d.FuseReLU = true
+	return d
+}
+
 // InitHe re-initialises the weights with He (Kaiming) normal init and
 // zeroes the biases. Used both at construction and by transfer learning
 // when the final layer is re-randomised.
@@ -62,34 +79,65 @@ func (d *Dense) InitHe(rng *rand.Rand) {
 	d.B.Value.Zero()
 }
 
-// Forward computes y = x·W + b for a batch x (rows = samples).
+// Forward computes y = x·W + b (relu'd when FuseReLU) for a batch x
+// (rows = samples). Bias and activation are applied in the GEMM epilogue.
 func (d *Dense) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: Dense %s expects %d inputs, got %d", d.W.Name, d.In, x.Cols))
 	}
 	d.lastX = x
 	y := d.out.get(x.Rows, d.Out)
-	mat.Mul(y, x, d.W.Value)
-	y.AddRowBroadcast(d.B.Value.Data)
+	act := mat.ActIdentity
+	if d.FuseReLU {
+		act = mat.ActReLU
+	}
+	mat.MulBiasAct(y, x, d.W.Value, d.B.Value.Data, act)
+	d.lastOut = y
 	return y
 }
 
 // Backward accumulates dW = xᵀ·g and db = Σ_rows g, returning g·Wᵀ.
+// When FuseReLU is set, g is first masked by the activation gradient;
+// the mask application and the bias column sums share one sweep, and the
+// weight-gradient GEMM accumulates directly into W.Grad.
 func (d *Dense) Backward(gradOut *mat.Matrix) *mat.Matrix {
 	if d.lastX == nil {
 		panic("nn: Dense.Backward before Forward")
 	}
-	if d.dW == nil {
-		d.dW = mat.New(d.In, d.Out)
+	if d.colSums == nil {
 		d.colSums = make([]float64, d.Out)
 	}
-	mat.MulTransA(d.dW, d.lastX, gradOut)
-	d.W.Grad.AddScaled(1, d.dW)
-	gradOut.ColSumsInto(d.colSums)
+	g := gradOut
+	if d.FuseReLU {
+		gm := d.gm.get(gradOut.Rows, gradOut.Cols)
+		// Fused sweep: mask by "output > 0" (⟺ pre-activation > 0) and
+		// build the bias column sums in the same row-major order as
+		// ColSumsInto, so the sums are bit-identical to the unfused pair.
+		for j := range d.colSums {
+			d.colSums[j] = 0
+		}
+		for i := 0; i < gradOut.Rows; i++ {
+			grow := gradOut.Row(i)
+			yrow := d.lastOut.Row(i)
+			mrow := gm.Row(i)
+			for j, v := range grow {
+				if yrow[j] > 0 {
+					mrow[j] = v
+					d.colSums[j] += v
+				} else {
+					mrow[j] = 0
+				}
+			}
+		}
+		g = gm
+	} else {
+		gradOut.ColSumsInto(d.colSums)
+	}
+	mat.MulTransAAcc(d.W.Grad, d.lastX, g)
 	mat.Axpy(1, d.colSums, d.B.Grad.Data)
 
-	gradIn := d.gradIn.get(gradOut.Rows, d.In)
-	mat.MulTransB(gradIn, gradOut, d.W.Value)
+	gradIn := d.gradIn.get(g.Rows, d.In)
+	mat.MulTransB(gradIn, g, d.W.Value)
 	return gradIn
 }
 
