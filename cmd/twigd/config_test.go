@@ -1,0 +1,124 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseConfigTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr error // nil means the parse must succeed
+		check   func(t *testing.T, cfg runConfig)
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			check: func(t *testing.T, cfg runConfig) {
+				if len(cfg.names) != 1 || cfg.names[0] != "masstree" {
+					t.Errorf("names = %v", cfg.names)
+				}
+				if len(cfg.loads) != 1 || cfg.loads[0] != 0.5 {
+					t.Errorf("loads = %v", cfg.loads)
+				}
+				if cfg.scale.Name != "quick" {
+					t.Errorf("scale = %s", cfg.scale.Name)
+				}
+				if !cfg.faults.IsZero() {
+					t.Errorf("faults armed by default: %+v", cfg.faults)
+				}
+			},
+		},
+		{
+			name: "multi service with broadcast load",
+			args: []string{"-services", "masstree,xapian,moses", "-loads", "0.3"},
+			check: func(t *testing.T, cfg runConfig) {
+				if len(cfg.loads) != 3 || cfg.loads[2] != 0.3 {
+					t.Errorf("broadcast loads = %v", cfg.loads)
+				}
+			},
+		},
+		{
+			name: "explicit loads and paper scale",
+			args: []string{"-services", "masstree,xapian", "-loads", "0.3,0.6", "-scale", "paper"},
+			check: func(t *testing.T, cfg runConfig) {
+				if cfg.loads[1] != 0.6 {
+					t.Errorf("loads = %v", cfg.loads)
+				}
+				if cfg.scale.Name != "paper" {
+					t.Errorf("scale = %s", cfg.scale.Name)
+				}
+			},
+		},
+		{
+			name: "named fault scenario",
+			args: []string{"-faults", "crash"},
+			check: func(t *testing.T, cfg runConfig) {
+				if cfg.faults.IsZero() || cfg.faults.Name != "crash" {
+					t.Errorf("faults = %+v", cfg.faults)
+				}
+			},
+		},
+		{
+			name:    "loads mismatch",
+			args:    []string{"-services", "masstree,xapian", "-loads", "0.3,0.4,0.5"},
+			wantErr: errLoadMismatch,
+		},
+		{
+			name:    "unparsable load",
+			args:    []string{"-loads", "lots"},
+			wantErr: errBadLoad,
+		},
+		{
+			name:    "non-positive load",
+			args:    []string{"-loads", "-0.5"},
+			wantErr: errBadLoad,
+		},
+		{
+			name:    "unknown pattern",
+			args:    []string{"-pattern", "sawtooth"},
+			wantErr: errUnknownPattern,
+		},
+		{
+			name:    "unknown service",
+			args:    []string{"-services", "masstree,postgres"},
+			wantErr: errUnknownService,
+		},
+		{
+			name:    "unknown scale",
+			args:    []string{"-scale", "huge"},
+			wantErr: errUnknownScale,
+		},
+		{
+			name:    "help passes through",
+			args:    []string{"-h"},
+			wantErr: flag.ErrHelp,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := parseConfig(tc.args, io.Discard)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			tc.check(t, cfg)
+		})
+	}
+}
+
+func TestParseConfigUnknownFault(t *testing.T) {
+	_, err := parseConfig([]string{"-faults", "gremlins"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "gremlins") {
+		t.Fatalf("err = %v, want unknown-scenario error naming the input", err)
+	}
+}

@@ -1,7 +1,10 @@
 // Command twigd runs the Twig task manager against the simulated server
-// and reports per-interval decisions and QoS, like watching the real
-// daemon's log. It is the interactive entry point; see twig-experiments
-// for the paper's evaluation.
+// as a long-running control-plane daemon. Beyond watching the log, the
+// -http endpoint exposes the full admission API: services can be
+// admitted, drained and deleted at runtime, /metrics exports
+// Prometheus-style telemetry, /status serves a JSON snapshot, and
+// /reload hot-swaps the manager weights from the newest checkpoint
+// without dropping the control loop.
 //
 // Usage:
 //
@@ -11,377 +14,255 @@
 //	twigd -services masstree,moses -faults hostile -guard
 //	twigd -services masstree -faults crash -checkpoint-dir /var/lib/twigd
 //
-// With -http, GET /status returns a JSON snapshot of the run (time,
-// power, per-service allocation and tail latency, and — under -faults
-// and -guard — the active fault events and guard health) while it
-// executes. -faults arms a named deterministic fault scenario and
-// -guard wraps the manager in the resilient harness.
-//
 // With -checkpoint-dir, the daemon writes a crash-consistent checkpoint
-// of the full run state (simulated world, manager, guard, control-loop
-// position) every -checkpoint-every simulated seconds, keeps the last
-// -checkpoint-keep files, and on start restores the newest valid one —
-// skipping torn or corrupt files — so a killed daemon resumes
-// bit-identically where it left off.
+// of the full control plane (simulated world, manager, guard, drainer,
+// service registry, control-loop position) every -checkpoint-every
+// simulated seconds, keeps the last -checkpoint-keep files, and on
+// start restores the newest valid one — skipping torn or corrupt files
+// — so a killed daemon resumes bit-identically where it left off.
 package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"math"
 	"net/http"
 	"os"
-	"strconv"
-	"strings"
-	"sync"
-	"time"
 
 	"github.com/twig-sched/twig/internal/checkpoint"
 	"github.com/twig-sched/twig/internal/core"
-	"github.com/twig-sched/twig/internal/ctrl"
-	"github.com/twig-sched/twig/internal/experiments"
+	"github.com/twig-sched/twig/internal/daemon"
 	"github.com/twig-sched/twig/internal/report"
 	"github.com/twig-sched/twig/internal/sim"
-	"github.com/twig-sched/twig/internal/sim/faults"
 	"github.com/twig-sched/twig/internal/sim/loadgen"
-	"github.com/twig-sched/twig/internal/sim/service"
 )
 
-// status is the JSON snapshot served at /status. Non-finite measurements
-// (a crashed service's latency, a failed RAPL read) are reported as -1
-// so the snapshot always encodes as valid JSON.
-type status struct {
-	Time     int             `json:"time"`
-	PowerW   float64         `json:"power_w"`
-	Services []serviceStatus `json:"services"`
-	// Faults lists the fault events active this interval (with -faults).
-	Faults []string `json:"faults,omitempty"`
-	// Guard carries the wrapper's intervention counters (with -guard).
-	Guard *ctrl.GuardHealth `json:"guard,omitempty"`
-}
-
-type serviceStatus struct {
-	Name        string  `json:"name"`
-	Cores       int     `json:"cores"`
-	FreqGHz     float64 `json:"freq_ghz"`
-	P99Ms       float64 `json:"p99_ms"`
-	QoSTargetMs float64 `json:"qos_target_ms"`
-	OfferedRPS  float64 `json:"offered_rps"`
-}
-
 func main() {
-	var (
-		servicesFlag = flag.String("services", "masstree", "comma-separated service names")
-		loadsFlag    = flag.String("loads", "0.5", "comma-separated load fractions of each service's max")
-		pattern      = flag.String("pattern", "fixed", "load pattern: fixed, stepwise or diurnal")
-		traceFlag    = flag.String("trace", "", "CSV load trace for the first service (overrides -pattern)")
-		csvFlag      = flag.String("csv", "", "write a per-interval CSV record of the run to this file")
-		httpFlag     = flag.String("http", "", "serve a JSON /status endpoint on this address while running")
-		saveFlag     = flag.String("save", "", "write learned network weights to this file at exit")
-		loadFlag     = flag.String("load", "", "seed the manager with weights saved by -save")
-		seconds      = flag.Int("seconds", 3500, "simulated seconds to run")
-		seed         = flag.Int64("seed", 1, "random seed")
-		scale        = flag.String("scale", "quick", "learning profile: quick or paper")
-		logEvery     = flag.Int("log-every", 100, "print a status line every N simulated seconds")
-		faultsFlag   = flag.String("faults", "none", "fault scenario: "+strings.Join(faults.Names(), ", "))
-		guardFlag    = flag.Bool("guard", false, "wrap the manager in the resilient guard")
-		ckptDir      = flag.String("checkpoint-dir", "", "directory for periodic crash-consistent checkpoints; on start the latest valid one is restored and the run resumes bit-identically")
-		ckptEvery    = flag.Int("checkpoint-every", 60, "write a checkpoint every N simulated seconds (with -checkpoint-dir)")
-		ckptKeep     = flag.Int("checkpoint-keep", 3, "checkpoints to retain on disk (with -checkpoint-dir)")
-	)
-	flag.Parse()
-
-	names := strings.Split(*servicesFlag, ",")
-	loadStrs := strings.Split(*loadsFlag, ",")
-	if len(loadStrs) == 1 && len(names) > 1 {
-		for len(loadStrs) < len(names) {
-			loadStrs = append(loadStrs, loadStrs[0])
-		}
+	cfg, err := parseConfig(os.Args[1:], os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0)
 	}
-	if len(loadStrs) != len(names) {
-		fail("need one load fraction per service")
-	}
-
-	sc := experiments.QuickScale()
-	if *scale == "paper" {
-		sc = experiments.PaperScale()
-	}
-
-	scenario, err := faults.Named(*faultsFlag)
 	if err != nil {
 		fail("%v", err)
 	}
-	// build constructs a fresh world (server, manager, optional guard).
-	// Restore tries candidate checkpoints newest-first, and each attempt
-	// decodes into brand-new components so a half-restored bundle from a
-	// corrupt file is discarded whole, never adopted.
-	build := func() (*sim.Server, *core.Manager, *ctrl.Guard) {
-		var s *sim.Server
-		if scenario.IsZero() {
-			s = experiments.NewServer(*seed, names...)
-		} else {
-			s = experiments.NewFaultyServer(*seed, &scenario, names...)
-		}
-		m := experiments.NewTwig(s, sc, *seed, names...)
-		var g *ctrl.Guard
-		if *guardFlag {
-			g = ctrl.NewGuard(m, ctrl.DefaultGuardConfig(s.ManagedCores()))
-		}
-		return s, m, g
+	if err := run(cfg); err != nil {
+		fail("%v", err)
 	}
-	components := func(s *sim.Server, m *core.Manager, g *ctrl.Guard, l *experiments.LoopState) []checkpoint.Checkpointable {
-		comps := []checkpoint.Checkpointable{s, m, l}
-		if g != nil {
-			comps = append(comps, g)
-		}
-		return comps
-	}
+}
 
-	srv, mgr, guard := build()
-	loop := experiments.NewLoopState()
-	if !scenario.IsZero() {
-		fmt.Printf("twigd: fault scenario %q armed\n", scenario.Name)
+func run(cfg runConfig) error {
+	dcfg := daemon.Config{
+		Scale:           cfg.scale,
+		Seed:            cfg.seed,
+		Guard:           cfg.guard,
+		CheckpointEvery: cfg.ckptEvery,
 	}
-
-	var writer *checkpoint.AsyncWriter
-	resumed := false
-	if *ckptDir != "" {
-		store, err := checkpoint.NewStore(*ckptDir, *ckptKeep)
+	if !cfg.faults.IsZero() {
+		dcfg.Faults = &cfg.faults
+	}
+	if cfg.trace != "" {
+		f, err := os.Open(cfg.trace)
 		if err != nil {
-			fail("opening checkpoint dir: %v", err)
-		}
-		seq, err := store.LoadLatest(func(data []byte) error {
-			s, m, g := build()
-			l := experiments.NewLoopState()
-			if err := checkpoint.Unmarshal(data, components(s, m, g, l)...); err != nil {
-				return err
-			}
-			srv, mgr, guard, loop = s, m, g, l
-			return nil
-		})
-		switch {
-		case err == nil:
-			resumed = true
-			fmt.Printf("twigd: resumed from %s at t=%d\n", store.Path(seq), loop.Next)
-		case errors.Is(err, os.ErrNotExist):
-			// No checkpoints yet: a fresh run.
-		default:
-			// Every retained checkpoint failed to restore. Starting over
-			// silently would discard training the operator expects to
-			// keep, so surface it and let them decide.
-			fail("no checkpoint in %s is restorable: %v", *ckptDir, err)
-		}
-		writer = checkpoint.NewAsyncWriter(store)
-	}
-	var controller ctrl.Controller = mgr
-	if guard != nil {
-		controller = guard
-	}
-
-	if *loadFlag != "" {
-		if resumed {
-			fmt.Printf("twigd: -load ignored, run resumed from %s\n", *ckptDir)
-		} else if err := loadInto(mgr, *loadFlag); err != nil {
-			fail("%v", err)
-		}
-	}
-
-	patterns := make([]loadgen.Pattern, len(names))
-	for i, name := range names {
-		frac, err := strconv.ParseFloat(strings.TrimSpace(loadStrs[i]), 64)
-		if err != nil {
-			fail("bad load fraction %q: %v", loadStrs[i], err)
-		}
-		maxRPS := service.MustLookup(name).MaxLoadRPS
-		switch *pattern {
-		case "fixed":
-			patterns[i] = loadgen.Fixed(frac * maxRPS)
-		case "stepwise":
-			patterns[i] = loadgen.NewStepWise(0.2*frac*maxRPS, frac*maxRPS, 0.2, 200)
-		case "diurnal":
-			patterns[i] = loadgen.Diurnal{MinRPS: 0.3 * frac * maxRPS, MaxRPS: frac * maxRPS, PeriodS: 3600}
-		default:
-			fail("unknown pattern %q", *pattern)
-		}
-	}
-	if *traceFlag != "" {
-		f, err := os.Open(*traceFlag)
-		if err != nil {
-			fail("opening trace: %v", err)
+			return fmt.Errorf("opening trace: %w", err)
 		}
 		tr, err := loadgen.ReadTrace(f, true)
 		f.Close()
 		if err != nil {
-			fail("parsing trace: %v", err)
+			return fmt.Errorf("parsing trace: %w", err)
 		}
-		patterns[0] = tr
+		dcfg.PatternOverrides = map[string]loadgen.Pattern{cfg.names[0]: tr}
 	}
 
-	// Optional live status endpoint on a dedicated mux and server with
-	// timeouts, so a slow or hostile client cannot pin the daemon.
-	var mu sync.Mutex
-	var snap status
-	if *httpFlag != "" {
-		server := newStatusServer(*httpFlag, &mu, &snap)
+	var store *checkpoint.Store
+	if cfg.ckptDir != "" {
+		var err error
+		store, err = checkpoint.NewStore(cfg.ckptDir, cfg.ckptKeep)
+		if err != nil {
+			return fmt.Errorf("opening checkpoint dir: %w", err)
+		}
+		dcfg.Store = store
+	}
+
+	initial := make([]daemon.AdmitRequest, len(cfg.names))
+	for i, name := range cfg.names {
+		initial[i] = daemon.AdmitRequest{Name: name, Load: cfg.loads[i], Pattern: cfg.pattern}
+	}
+
+	// With a checkpoint dir, prefer resuming the newest valid checkpoint
+	// over starting fresh; an empty dir is a fresh run, but a dir whose
+	// checkpoints all fail to restore is surfaced rather than silently
+	// discarding training the operator expects to keep.
+	var eng *daemon.Engine
+	resumed := false
+	if store != nil {
+		e, seq, err := daemon.RestoreLatest(dcfg)
+		switch {
+		case err == nil:
+			eng = e
+			resumed = true
+			fmt.Printf("twigd: resumed from %s at t=%d\n", store.Path(seq), e.Next())
+		case errors.Is(err, os.ErrNotExist):
+			// No checkpoints yet: a fresh run.
+		default:
+			return fmt.Errorf("no checkpoint in %s is restorable: %v", cfg.ckptDir, err)
+		}
+	}
+	if eng == nil {
+		e, err := daemon.New(dcfg, initial)
+		if err != nil {
+			return err
+		}
+		eng = e
+	}
+	if !cfg.faults.IsZero() {
+		fmt.Printf("twigd: fault scenario %q armed\n", cfg.faults.Name)
+	}
+
+	if cfg.load != "" {
+		if resumed {
+			fmt.Printf("twigd: -load ignored, run resumed from %s\n", cfg.ckptDir)
+		} else if err := loadInto(eng.Manager(), cfg.load); err != nil {
+			return err
+		}
+	}
+
+	if cfg.httpAddr != "" {
+		server := daemon.NewServer(cfg.httpAddr, eng)
 		go func() {
 			if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "twigd: http server: %v\n", err)
 			}
 		}()
-		fmt.Printf("twigd: serving /status on %s\n", *httpFlag)
+		fmt.Printf("twigd: serving admission API, /status and /metrics on %s\n", cfg.httpAddr)
 	}
 
-	// Optional per-interval CSV.
-	csvTable := report.NewTable(csvHeader(names)...)
+	// Per-interval CSV columns follow the services present at each
+	// interval's step; the header is built from the initial membership
+	// (runtime admissions append columns without renaming existing ones).
+	csvTable := report.NewTable(csvHeader(cfg.names)...)
 
+	sumFrom := maxInt(cfg.seconds-cfg.scale.SummaryS, cfg.seconds/2)
+	var acc summaryAcc
 	var coresTrace []float64
 	fmt.Printf("twigd: managing %v on %d cores (%s scale, ε %0.2f→%0.2f)\n",
-		names, len(srv.ManagedCores()), sc.Name, sc.Epsilon.Start, sc.Epsilon.End)
-	runCfg := experiments.RunConfig{
-		Server:       srv,
-		Controller:   controller,
-		Patterns:     patterns,
-		Seconds:      *seconds,
-		SummaryFromS: maxInt(*seconds-sc.SummaryS, *seconds/2),
-		AfterInterval: func(t int, obs ctrl.Observation, lastValid sim.Assignment) {
-			// Track the loop state every interval; encode on cadence. The
-			// encode is synchronous (the state must be a consistent cut),
-			// the disk write is not — a slow disk drops intermediate
-			// snapshots rather than stalling the control loop.
-			loop.Next, loop.Obs, loop.LastValid = t+1, obs, lastValid
-			if writer != nil && (t+1)%maxInt(*ckptEvery, 1) == 0 {
-				writer.Submit(uint64(t+1), checkpoint.Marshal(components(srv, mgr, guard, loop)...))
-			}
-		},
-		Hook: func(t int, r sim.StepResult, asg sim.Assignment) {
-			mu.Lock()
-			snap = snapshot(names, t, r, guard)
-			mu.Unlock()
-			coresTrace = append(coresTrace, float64(r.Services[0].NumCores))
-			if *csvFlag != "" {
-				csvTable.AddRow(csvRow(t, r)...)
-			}
-			if (t+1)%*logEvery != 0 {
-				return
-			}
-			fmt.Printf("t=%5ds power=%5.1fW", t+1, r.TruePowerW)
-			for i, sv := range r.Services {
-				fmt.Printf("  %s: %2dc@%.1fGHz p99=%6.2fms (target %.2f)",
-					names[i], sv.NumCores, sv.FreqGHz, sv.P99Ms, sv.QoSTargetMs)
-			}
-			fmt.Println()
-		},
-	}
-	loop.Configure(&runCfg)
-	sum := experiments.Run(runCfg)
+		cfg.names, eng.NumCores(), cfg.scale.Name, cfg.scale.Epsilon.Start, cfg.scale.Epsilon.End)
 
-	if writer != nil {
+	err := eng.RunTo(cfg.seconds, func(t int, r sim.StepResult) {
+		if len(r.Services) > 0 {
+			coresTrace = append(coresTrace, float64(r.Services[0].NumCores))
+		}
+		if cfg.csv != "" {
+			csvTable.AddRow(csvRow(t, r)...)
+		}
+		if t >= sumFrom {
+			acc.add(r)
+		}
+		if (t+1)%cfg.logEvery != 0 {
+			return
+		}
+		fmt.Printf("t=%5ds power=%5.1fW", t+1, r.TruePowerW)
+		for _, sv := range r.Services {
+			fmt.Printf("  %2dc@%.1fGHz p99=%6.2fms (target %.2f)",
+				sv.NumCores, sv.FreqGHz, sv.P99Ms, sv.QoSTargetMs)
+		}
+		fmt.Println()
+	})
+	if err != nil {
+		return err
+	}
+
+	if store != nil {
 		// Final checkpoint regardless of cadence, and wait for the disk.
-		writer.Submit(uint64(loop.Next), checkpoint.Marshal(components(srv, mgr, guard, loop)...))
-		if err := writer.Flush(); err != nil {
+		if err := eng.CheckpointNow(); err != nil {
 			fmt.Fprintf(os.Stderr, "twigd: writing final checkpoint: %v\n", err)
 		} else {
-			fmt.Printf("  checkpointed t=%d to %s\n", loop.Next, *ckptDir)
+			fmt.Printf("  checkpointed t=%d to %s\n", eng.Next(), cfg.ckptDir)
 		}
 	}
 
-	fmt.Println("\nsummary (final window):")
-	for i, name := range names {
-		fmt.Printf("  %-10s QoS guarantee %s  mean tardiness %.2f  avg alloc %.1f cores @ %.2f GHz\n",
-			name, report.Percent(sum.QoSGuarantee[i]), sum.MeanTardiness[i], sum.AvgCores[i], sum.AvgFreqGHz[i])
-	}
-	fmt.Printf("  energy %.0f J (avg %.1f W), %d migrations\n", sum.EnergyJ, sum.AvgPowerW, sum.Migrations)
+	acc.print()
 	if n := len(coresTrace); n > 120 {
 		step := n / 60
 		var ds []float64
 		for i := 0; i < n; i += step {
 			ds = append(ds, coresTrace[i])
 		}
-		fmt.Printf("  %s cores over time: %s\n", names[0], report.Sparkline(ds))
+		fmt.Printf("  %s cores over time: %s\n", cfg.names[0], report.Sparkline(ds))
 	}
 
-	if *saveFlag != "" {
-		f, err := os.Create(*saveFlag)
+	if cfg.save != "" {
+		f, err := os.Create(cfg.save)
 		if err != nil {
-			fail("creating checkpoint file: %v", err)
+			return fmt.Errorf("creating checkpoint file: %w", err)
 		}
-		if err := mgr.SaveCheckpoint(f); err != nil {
-			fail("saving checkpoint: %v", err)
+		if err := eng.Manager().SaveCheckpoint(f); err != nil {
+			return fmt.Errorf("saving checkpoint: %w", err)
 		}
 		f.Close()
-		fmt.Printf("  saved manager checkpoint to %s\n", *saveFlag)
+		fmt.Printf("  saved manager checkpoint to %s\n", cfg.save)
 	}
 
-	if *csvFlag != "" {
-		f, err := os.Create(*csvFlag)
+	if cfg.csv != "" {
+		f, err := os.Create(cfg.csv)
 		if err != nil {
-			fail("creating csv: %v", err)
+			return fmt.Errorf("creating csv: %w", err)
 		}
 		if err := csvTable.WriteCSV(f); err != nil {
-			fail("writing csv: %v", err)
+			return fmt.Errorf("writing csv: %w", err)
 		}
 		f.Close()
-		fmt.Printf("  wrote %d intervals to %s\n", csvTable.Len(), *csvFlag)
+		fmt.Printf("  wrote %d intervals to %s\n", csvTable.Len(), cfg.csv)
 	}
+	return nil
 }
 
-// newStatusServer builds the hardened HTTP server for /status.
-func newStatusServer(addr string, mu *sync.Mutex, snap *status) *http.Server {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/status", statusHandler(mu, snap))
-	return &http.Server{
-		Addr:              addr,
-		Handler:           mux,
-		ReadTimeout:       5 * time.Second,
-		ReadHeaderTimeout: 2 * time.Second,
-		WriteTimeout:      5 * time.Second,
-		IdleTimeout:       30 * time.Second,
-	}
+// summaryAcc accumulates the final-window summary the daemon prints at
+// exit: QoS guarantee, tardiness, allocation and energy per service
+// index (runtime membership changes truncate to the smallest set seen).
+type summaryAcc struct {
+	samples int
+	energyJ float64
+	powerW  float64
+	met     []float64
+	tard    []float64
+	cores   []float64
+	freq    []float64
 }
 
-// statusHandler serves the mutex-guarded snapshot as JSON.
-func statusHandler(mu *sync.Mutex, snap *status) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		mu.Lock()
-		s := *snap
-		mu.Unlock()
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(s)
+func (a *summaryAcc) add(r sim.StepResult) {
+	a.samples++
+	a.energyJ += r.EnergyJ
+	a.powerW += r.TruePowerW
+	for len(a.met) < len(r.Services) {
+		a.met = append(a.met, 0)
+		a.tard = append(a.tard, 0)
+		a.cores = append(a.cores, 0)
+		a.freq = append(a.freq, 0)
 	}
-}
-
-func snapshot(names []string, t int, r sim.StepResult, guard *ctrl.Guard) status {
-	s := status{Time: t, PowerW: jsonSafe(r.TruePowerW)}
 	for i, sv := range r.Services {
-		s.Services = append(s.Services, serviceStatus{
-			Name:        names[i],
-			Cores:       sv.NumCores,
-			FreqGHz:     sv.FreqGHz,
-			P99Ms:       jsonSafe(sv.P99Ms),
-			QoSTargetMs: sv.QoSTargetMs,
-			OfferedRPS:  sv.OfferedRPS,
-		})
+		if sv.P99Ms <= sv.QoSTargetMs {
+			a.met[i]++
+		}
+		if sv.QoSTargetMs > 0 && sv.P99Ms == sv.P99Ms { // skip NaN
+			a.tard[i] += sv.P99Ms / sv.QoSTargetMs
+		}
+		a.cores[i] += float64(sv.NumCores)
+		a.freq[i] += sv.FreqGHz
 	}
-	for _, e := range r.Faults {
-		s.Faults = append(s.Faults, e.String())
-	}
-	if guard != nil {
-		h := guard.Health()
-		s.Guard = &h
-	}
-	return s
 }
 
-// jsonSafe maps non-finite measurements to -1: encoding/json rejects
-// NaN and Inf, and a dropped sensor must not take /status down with it.
-func jsonSafe(v float64) float64 {
-	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return -1
+func (a *summaryAcc) print() {
+	if a.samples == 0 {
+		return
 	}
-	return v
+	n := float64(a.samples)
+	fmt.Println("\nsummary (final window):")
+	for i := range a.met {
+		fmt.Printf("  service %d: QoS guarantee %s  mean tardiness %.2f  avg alloc %.1f cores @ %.2f GHz\n",
+			i, report.Percent(a.met[i]/n), a.tard[i]/n, a.cores[i]/n, a.freq[i]/n)
+	}
+	fmt.Printf("  energy %.0f J (avg %.1f W)\n", a.energyJ, a.powerW/n)
 }
 
 func csvHeader(names []string) []string {

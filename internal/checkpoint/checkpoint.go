@@ -54,6 +54,21 @@ func Marshal(comps ...Checkpointable) []byte {
 	return EncodeFile(Version, secs)
 }
 
+// Verify checks the container framing — magic, version, section frames
+// and the CRC trailer — without decoding any component state. It is the
+// cheap validity probe the hot-reload path uses to pick a checkpoint
+// before handing its bytes to a component decoder.
+func Verify(data []byte) error {
+	version, _, err := DecodeFile(data)
+	if err != nil {
+		return err
+	}
+	if version != Version {
+		return fmt.Errorf("checkpoint: %w: file version %d, this build reads %d", ErrVersion, version, Version)
+	}
+	return nil
+}
+
 // Unmarshal verifies data and decodes it into the components, matched by
 // section name. Every component must find its section, every section's
 // payload must be fully consumed, and any failure leaves an error — the

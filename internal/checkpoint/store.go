@@ -121,6 +121,27 @@ func (s *Store) Path(seq uint64) string {
 	return filepath.Join(s.dir, fmt.Sprintf(filePattern, seq))
 }
 
+// ReadLatest returns the sequence number and raw bytes of the newest
+// checkpoint whose container framing verifies (magic, version, CRC).
+// Torn or corrupt files are skipped, newest-first, exactly like
+// LoadLatest. This is the hot-reload read path: the caller decodes only
+// the sections it wants (e.g. the manager's weights) from the returned
+// bytes without restoring the rest of the run.
+func (s *Store) ReadLatest() (uint64, []byte, error) {
+	var out []byte
+	seq, err := s.LoadLatest(func(data []byte) error {
+		if err := Verify(data); err != nil {
+			return err
+		}
+		out = data
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return seq, out, nil
+}
+
 // LoadLatest finds the newest checkpoint whose bytes restore cleanly
 // and returns its sequence number. Candidates are tried newest-first;
 // restore is called with each file's contents and may fail (corrupt

@@ -1,6 +1,9 @@
 package checkpoint
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // AsyncWriter decouples checkpoint persistence from the control loop.
 // Encoding must happen synchronously (the components are mutable and
@@ -16,7 +19,27 @@ type AsyncWriter struct {
 	pending *snapshot // next snapshot to write, replaced by newer submissions
 	running bool      // a writer goroutine is draining pending
 	lastErr error     // most recent write failure
+	stats   WriteStats
 	wg      sync.WaitGroup
+}
+
+// WriteStats describes the writer's persistence activity, for metrics
+// export: how many snapshots reached disk, how many were dropped by the
+// latest-wins policy, and how long the most recent write (fsync
+// included) took and when it completed.
+type WriteStats struct {
+	// Writes counts completed (successful) disk writes; Failed counts
+	// writes that returned an error.
+	Writes int
+	Failed int
+	// Dropped counts snapshots replaced in the pending slot before the
+	// writer got to them (disk slower than the checkpoint cadence).
+	Dropped int
+	// LastSeq is the sequence number of the newest successful write;
+	// LastDuration its wall-clock cost; LastWrite its completion time.
+	LastSeq      uint64
+	LastDuration time.Duration
+	LastWrite    time.Time
 }
 
 type snapshot struct {
@@ -35,6 +58,9 @@ func NewAsyncWriter(store *Store) *AsyncWriter {
 func (w *AsyncWriter) Submit(seq uint64, data []byte) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.pending != nil {
+		w.stats.Dropped++
+	}
 	w.pending = &snapshot{seq: seq, data: data}
 	if w.running {
 		return
@@ -57,14 +83,29 @@ func (w *AsyncWriter) drain() {
 		}
 		w.mu.Unlock()
 
+		start := time.Now()
 		err := w.store.Save(snap.seq, snap.data)
+		elapsed := time.Since(start)
 
 		w.mu.Lock()
 		if err != nil {
 			w.lastErr = err
+			w.stats.Failed++
+		} else {
+			w.stats.Writes++
+			w.stats.LastSeq = snap.seq
+			w.stats.LastDuration = elapsed
+			w.stats.LastWrite = start.Add(elapsed)
 		}
 		w.mu.Unlock()
 	}
+}
+
+// Stats returns a snapshot of the writer's persistence counters.
+func (w *AsyncWriter) Stats() WriteStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
 }
 
 // Flush blocks until every submitted snapshot has been written (or

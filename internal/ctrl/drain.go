@@ -1,0 +1,116 @@
+package ctrl
+
+import (
+	"fmt"
+
+	"github.com/twig-sched/twig/internal/checkpoint"
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/platform"
+)
+
+// Drainer wraps a controller with graceful-eviction semantics: a service
+// marked draining has its core allocation halved every interval (never
+// below one core, so the queue can still empty) and is pinned to the
+// minimum DVFS state with no cache reservation. The freed cores return
+// to whatever the inner controller and the platform's idle policy do
+// with them — under colocation they become best-effort throughput.
+//
+// Drainer sits OUTSIDE any Guard in the controller chain: the guard's
+// circuit breaker would otherwise re-escalate a draining service to
+// maximum resources the moment its (inevitable) QoS violations start,
+// defeating the drain. A Drainer is itself a Controller and is
+// checkpointable, so an interrupted drain resumes exactly where the
+// ramp-down left off.
+type Drainer struct {
+	inner Controller
+	// draining flags each service; coresLeft is the ramp position (-1
+	// until the first draining decision observes the current width).
+	draining  []bool
+	coresLeft []int
+}
+
+// NewDrainer wraps inner for k services, none of them draining.
+func NewDrainer(inner Controller, k int) *Drainer {
+	d := &Drainer{inner: inner, draining: make([]bool, k), coresLeft: make([]int, k)}
+	for i := range d.coresLeft {
+		d.coresLeft[i] = -1
+	}
+	return d
+}
+
+// Name labels runs with the wrapped controller's name.
+func (d *Drainer) Name() string { return d.inner.Name() + "+drain" }
+
+// SetDraining marks service i as draining (or cancels a drain, which
+// also resets the ramp).
+func (d *Drainer) SetDraining(i int, on bool) {
+	if i < 0 || i >= len(d.draining) {
+		return
+	}
+	d.draining[i] = on
+	if !on {
+		d.coresLeft[i] = -1
+	}
+}
+
+// Draining returns a copy of the per-service draining flags.
+func (d *Drainer) Draining() []bool { return append([]bool(nil), d.draining...) }
+
+// Decide runs the inner controller, then overrides every draining
+// service's allocation with the ramp-down.
+func (d *Drainer) Decide(obs Observation) sim.Assignment {
+	asg := d.inner.Decide(obs)
+	for i := range d.draining {
+		if !d.draining[i] || i >= len(asg.PerService) {
+			continue
+		}
+		al := &asg.PerService[i]
+		width := d.coresLeft[i]
+		if width < 0 {
+			// First draining interval: start from what the inner
+			// controller just granted (at least one core).
+			width = len(al.Cores)
+			if width < 1 {
+				width = 1
+			}
+		} else {
+			width /= 2
+			if width < 1 {
+				width = 1
+			}
+		}
+		d.coresLeft[i] = width
+		if len(al.Cores) > width {
+			al.Cores = append([]int(nil), al.Cores[:width]...)
+		}
+		al.FreqGHz = platform.MinFreqGHz
+		al.CacheWays = 0
+	}
+	return asg
+}
+
+// CheckpointName implements checkpoint.Checkpointable.
+func (d *Drainer) CheckpointName() string { return "ctrl-drainer" }
+
+// EncodeState writes the draining flags and ramp positions.
+func (d *Drainer) EncodeState(e *checkpoint.Encoder) {
+	e.Bools(d.draining)
+	e.Ints(d.coresLeft)
+}
+
+// DecodeState restores state written by EncodeState into a drainer
+// constructed for the same number of services.
+func (d *Drainer) DecodeState(dec *checkpoint.Decoder) error {
+	draining := dec.Bools()
+	coresLeft := dec.Ints()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(draining) != len(d.draining) || len(coresLeft) != len(d.coresLeft) {
+		return fmt.Errorf("ctrl: drainer checkpoint covers %d/%d services, this drainer has %d",
+			len(draining), len(coresLeft), len(d.draining))
+	}
+	d.draining = draining
+	d.coresLeft = coresLeft
+	return nil
+}

@@ -1,0 +1,98 @@
+package ctrl
+
+import (
+	"testing"
+
+	"github.com/twig-sched/twig/internal/checkpoint"
+	"github.com/twig-sched/twig/internal/sim"
+	"github.com/twig-sched/twig/internal/sim/platform"
+)
+
+// wideController always grants each service eight cores at 2.0 GHz.
+type wideController struct{}
+
+func (wideController) Name() string { return "wide" }
+func (wideController) Decide(obs Observation) sim.Assignment {
+	asg := sim.Assignment{PerService: make([]sim.Allocation, len(obs.Services))}
+	for i := range asg.PerService {
+		asg.PerService[i] = sim.Allocation{
+			Cores:   []int{0, 1, 2, 3, 4, 5, 6, 7},
+			FreqGHz: 2.0, CacheWays: 4,
+		}
+	}
+	return asg
+}
+
+func twoServiceObs() Observation {
+	return Observation{Services: make([]ServiceObs, 2)}
+}
+
+func TestDrainerPassThroughWhenIdle(t *testing.T) {
+	d := NewDrainer(wideController{}, 2)
+	asg := d.Decide(twoServiceObs())
+	for i, al := range asg.PerService {
+		if len(al.Cores) != 8 || al.FreqGHz != 2.0 || al.CacheWays != 4 {
+			t.Fatalf("service %d modified while not draining: %+v", i, al)
+		}
+	}
+}
+
+func TestDrainerRampsDownToOneCore(t *testing.T) {
+	d := NewDrainer(wideController{}, 2)
+	d.SetDraining(1, true)
+
+	want := []int{8, 4, 2, 1, 1, 1}
+	for step, w := range want {
+		asg := d.Decide(twoServiceObs())
+		if got := len(asg.PerService[1].Cores); got != w {
+			t.Fatalf("drain step %d: %d cores, want %d", step, got, w)
+		}
+		if asg.PerService[1].FreqGHz != platform.MinFreqGHz {
+			t.Fatalf("drain step %d: freq %v, want min", step, asg.PerService[1].FreqGHz)
+		}
+		if asg.PerService[1].CacheWays != 0 {
+			t.Fatalf("drain step %d: cache ways %d, want 0", step, asg.PerService[1].CacheWays)
+		}
+		// The non-draining service is untouched.
+		if len(asg.PerService[0].Cores) != 8 || asg.PerService[0].FreqGHz != 2.0 {
+			t.Fatalf("drain step %d: non-draining service modified: %+v", step, asg.PerService[0])
+		}
+	}
+}
+
+func TestDrainerCancelResetsRamp(t *testing.T) {
+	d := NewDrainer(wideController{}, 1)
+	d.SetDraining(0, true)
+	d.Decide(Observation{Services: make([]ServiceObs, 1)})
+	d.Decide(Observation{Services: make([]ServiceObs, 1)})
+	d.SetDraining(0, false)
+	asg := d.Decide(Observation{Services: make([]ServiceObs, 1)})
+	if len(asg.PerService[0].Cores) != 8 {
+		t.Fatalf("after cancel: %d cores, want full 8", len(asg.PerService[0].Cores))
+	}
+}
+
+// A checkpointed drain resumes exactly where the ramp left off.
+func TestDrainerCheckpointRoundTrip(t *testing.T) {
+	d := NewDrainer(wideController{}, 2)
+	d.SetDraining(0, true)
+	d.Decide(twoServiceObs()) // ramp: 8
+	d.Decide(twoServiceObs()) // ramp: 4
+
+	data := checkpoint.Marshal(d)
+	restored := NewDrainer(wideController{}, 2)
+	if err := checkpoint.Unmarshal(data, restored); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	a := d.Decide(twoServiceObs())
+	b := restored.Decide(twoServiceObs())
+	if len(a.PerService[0].Cores) != 2 || len(b.PerService[0].Cores) != 2 {
+		t.Fatalf("resumed ramp diverged: original %d cores, restored %d",
+			len(a.PerService[0].Cores), len(b.PerService[0].Cores))
+	}
+
+	wrong := NewDrainer(wideController{}, 3)
+	if err := checkpoint.Unmarshal(data, wrong); err == nil {
+		t.Fatal("restoring a 2-service drainer checkpoint into a 3-service drainer succeeded")
+	}
+}

@@ -114,6 +114,11 @@ func (g *Guard) Name() string { return g.inner.Name() + "+guard" }
 // Health returns the cumulative intervention counters.
 func (g *Guard) Health() GuardHealth { return g.health }
 
+// BreakerEngaged reports, per service, whether the QoS circuit breaker
+// currently holds the service escalated to maximum resources. The slice
+// is a copy and is empty before the first Decide sizes the guard.
+func (g *Guard) BreakerEngaged() []bool { return append([]bool(nil), g.tripped...) }
+
 // Decide sanitises the observation, runs the inner controller inside a
 // panic boundary, validates its decision and applies the circuit
 // breaker. The returned assignment always passes sim.Server.Validate.

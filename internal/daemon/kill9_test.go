@@ -1,0 +1,182 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/twig-sched/twig/internal/checkpoint"
+)
+
+// TestKill9ResumeBitIdentical is the subprocess variant of the crash
+// test: it builds the real twigd binary, runs it under load with the
+// crash fault scenario armed, SIGKILLs it mid-run, restarts it against
+// the same checkpoint directory, and verifies the resumed run (a)
+// announces the resume and (b) produces per-interval CSV rows identical
+// to an uninterrupted reference run from the resume point onward.
+//
+// The test shells out and runs several simulated-minute workloads, so
+// it is gated: set TWIG_KILL9=1 to run it (CI does, in the
+// crash-resume job; see .github/workflows/ci.yml).
+func TestKill9ResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short")
+	}
+	if os.Getenv("TWIG_KILL9") != "1" {
+		t.Skip("set TWIG_KILL9=1 to run the subprocess kill -9 test")
+	}
+
+	root := moduleRoot(t)
+	work := t.TempDir()
+	bin := filepath.Join(work, "twigd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/twigd")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building twigd: %v\n%s", err, out)
+	}
+
+	baseArgs := func(ckptDir, csv string) []string {
+		return []string{
+			"-services", "masstree",
+			"-faults", "crash",
+			"-seconds", "450",
+			"-seed", "7",
+			"-checkpoint-dir", ckptDir,
+			"-checkpoint-every", "30",
+			"-csv", csv,
+			"-log-every", "10000",
+		}
+	}
+
+	// Reference: uninterrupted run in its own checkpoint dir.
+	refCSV := filepath.Join(work, "ref.csv")
+	refOut := runTwigd(t, bin, baseArgs(filepath.Join(work, "ckpt-ref"), refCSV))
+	if strings.Contains(refOut, "resumed from") {
+		t.Fatalf("reference run resumed from a checkpoint:\n%s", refOut)
+	}
+
+	// Crashed run: SIGKILL once checkpoints past t=120 are durable.
+	crashDir := filepath.Join(work, "ckpt-crash")
+	crash := exec.Command(bin, baseArgs(crashDir, filepath.Join(work, "crashed.csv"))...)
+	var crashOut bytes.Buffer
+	crash.Stdout, crash.Stderr = &crashOut, &crashOut
+	if err := crash.Start(); err != nil {
+		t.Fatalf("starting twigd: %v", err)
+	}
+	store, err := checkpoint.NewStore(crashDir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		seqs, err := store.Sequences()
+		if err == nil && len(seqs) > 0 && seqs[len(seqs)-1] >= 120 {
+			if err := crash.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Fatalf("kill -9: %v", err)
+			}
+			killed = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	err = crash.Wait()
+	if !killed {
+		t.Fatalf("twigd finished before any checkpoint past t=120 appeared (err=%v):\n%s", err, crashOut.String())
+	}
+	if err == nil {
+		t.Fatalf("SIGKILLed twigd exited cleanly:\n%s", crashOut.String())
+	}
+
+	// Resumed run: same checkpoint dir; must announce the resume and
+	// complete the remaining intervals.
+	resumedCSV := filepath.Join(work, "resumed.csv")
+	resumedOut := runTwigd(t, bin, baseArgs(crashDir, resumedCSV))
+	if !strings.Contains(resumedOut, "resumed from") {
+		t.Fatalf("restarted twigd did not resume from the checkpoint:\n%s", resumedOut)
+	}
+
+	// Every interval the resumed run recorded must be byte-identical to
+	// the reference at the same simulated second.
+	ref := csvByT(t, refCSV)
+	res := csvByT(t, resumedCSV)
+	if len(res) == 0 {
+		t.Fatal("resumed run recorded no intervals")
+	}
+	if len(res) >= len(ref) {
+		t.Fatalf("resumed run recorded %d intervals, reference %d — resume point lost", len(res), len(ref))
+	}
+	compared := 0
+	for tt, row := range res {
+		want, ok := ref[tt]
+		if !ok {
+			t.Fatalf("resumed run has t=%s absent from the reference", tt)
+		}
+		if row != want {
+			t.Fatalf("trajectory diverged at t=%s:\n  reference: %s\n  resumed:   %s", tt, want, row)
+		}
+		compared++
+	}
+	t.Logf("resume verified: %d/%d intervals byte-identical to the reference", compared, len(ref))
+}
+
+func runTwigd(t *testing.T, bin string, args []string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("twigd %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+// csvByT indexes a per-interval CSV by its t column.
+func csvByT(t *testing.T, path string) map[string]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("opening %s: %v", path, err)
+	}
+	defer f.Close()
+	rows := map[string]string{}
+	sc := bufio.NewScanner(f)
+	first := true
+	for sc.Scan() {
+		line := sc.Text()
+		if first {
+			first = false // header
+			continue
+		}
+		tt, _, ok := strings.Cut(line, ",")
+		if !ok {
+			t.Fatalf("%s: malformed row %q", path, line)
+		}
+		if prev, dup := rows[tt]; dup {
+			t.Fatalf("%s: duplicate t=%s (%q vs %q)", path, tt, prev, line)
+		}
+		rows[tt] = line
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return rows
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}

@@ -1,0 +1,217 @@
+// Package daemon promotes twigd from a fire-and-forget demo binary into
+// a long-running control-plane daemon: a service lifecycle state machine
+// with bounded retries and a dead-letter terminal state, a runtime
+// admission HTTP API layered on the status server, Prometheus-style
+// metrics export, hot weight reload from the checkpoint store, and the
+// crash-consistent checkpoint/restore of the whole control plane that
+// makes "kill -9 under load, resume bit-identically" a CI property
+// rather than a manual recipe.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is a lifecycle position of one managed service.
+//
+//	Pending ──Place──▶ Placed ──Start──▶ Running
+//	   │ ▲                │                 │
+//	   │ └───Fail(retry)──┴──────Fail───────┤
+//	   │                  │                 │
+//	 Drain              Drain             Drain
+//	   │                  ▼                 ▼
+//	   └──────────▶    Stopped ◀─Drained─ Draining ──Fail──▶ Stopped
+//
+// Fail from Pending/Placed/Running re-enqueues the service as Pending
+// until the retry budget is exhausted, after which it lands in
+// DeadLetter. Stopped and DeadLetter are terminal: every event on them
+// is ErrIllegalTransition.
+type State uint8
+
+const (
+	// Pending: admitted but not yet hosted by the simulator.
+	Pending State = iota
+	// Placed: hosted (cores assignable) but not yet serving.
+	Placed
+	// Running: serving load under the controller.
+	Running
+	// Draining: load cut to zero, core allocation ramping down.
+	Draining
+	// Stopped: drained and evicted; terminal.
+	Stopped
+	// DeadLetter: failed more times than the retry budget; terminal.
+	DeadLetter
+
+	numStates = int(DeadLetter) + 1
+)
+
+// String returns the lower-case state name used in the API and metrics.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Placed:
+		return "placed"
+	case Running:
+		return "running"
+	case Draining:
+		return "draining"
+	case Stopped:
+		return "stopped"
+	case DeadLetter:
+		return "dead-letter"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Terminal reports whether no event can leave s.
+func (s State) Terminal() bool { return s == Stopped || s == DeadLetter }
+
+// Event is a lifecycle input.
+type Event uint8
+
+const (
+	// Place: the simulator accepted the service.
+	Place Event = iota
+	// Start: the controller took over; the service is live.
+	Start
+	// Drain: an operator asked for graceful removal (or cancellation of
+	// a not-yet-placed admission).
+	Drain
+	// Drained: the queue emptied (or the drain timed out).
+	Drained
+	// Fail: placement or the service itself failed.
+	Fail
+
+	numEvents = int(Fail) + 1
+)
+
+// String returns the lower-case event name.
+func (e Event) String() string {
+	switch e {
+	case Place:
+		return "place"
+	case Start:
+		return "start"
+	case Drain:
+		return "drain"
+	case Drained:
+		return "drained"
+	case Fail:
+		return "fail"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(e))
+	}
+}
+
+// ErrIllegalTransition is wrapped by every Fire rejection, including any
+// event on a terminal state.
+var ErrIllegalTransition = errors.New("daemon: illegal lifecycle transition")
+
+// DefaultMaxRetries is the Fail→Pending re-enqueue budget before a
+// service is dead-lettered.
+const DefaultMaxRetries = 3
+
+// Transition returns the successor of (s, ev) in the legal-transition
+// table, or ok=false when the pair is illegal. Retry accounting is
+// layered on top by Lifecycle.Fire: a Fail whose successor is Pending
+// becomes DeadLetter once the budget is spent.
+func Transition(s State, ev Event) (State, bool) {
+	switch s {
+	case Pending:
+		switch ev {
+		case Place:
+			return Placed, true
+		case Drain: // cancel an admission that never placed
+			return Stopped, true
+		case Fail:
+			return Pending, true
+		}
+	case Placed:
+		switch ev {
+		case Start:
+			return Running, true
+		case Drain:
+			return Draining, true
+		case Fail:
+			return Pending, true
+		}
+	case Running:
+		switch ev {
+		case Drain:
+			return Draining, true
+		case Fail:
+			return Pending, true
+		}
+	case Draining:
+		switch ev {
+		case Drained:
+			return Stopped, true
+		case Fail: // it was leaving anyway; don't resurrect it
+			return Stopped, true
+		}
+	}
+	return s, false
+}
+
+// Lifecycle tracks one service's state and retry budget.
+type Lifecycle struct {
+	state      State
+	retries    int
+	maxRetries int
+}
+
+// NewLifecycle returns a Pending lifecycle with the given retry budget
+// (negative budgets are treated as zero: the first Fail dead-letters).
+func NewLifecycle(maxRetries int) *Lifecycle {
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	return &Lifecycle{maxRetries: maxRetries}
+}
+
+// RestoreLifecycle rebuilds a lifecycle at a known position (checkpoint
+// restore). The position must be internally consistent.
+func RestoreLifecycle(state State, retries, maxRetries int) (*Lifecycle, error) {
+	if int(state) >= numStates {
+		return nil, fmt.Errorf("daemon: unknown lifecycle state %d", state)
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	if retries < 0 || retries > maxRetries {
+		return nil, fmt.Errorf("daemon: retry count %d outside budget [0,%d]", retries, maxRetries)
+	}
+	return &Lifecycle{state: state, retries: retries, maxRetries: maxRetries}, nil
+}
+
+// State returns the current state.
+func (l *Lifecycle) State() State { return l.state }
+
+// Retries returns how many Fail→Pending re-enqueues have happened.
+func (l *Lifecycle) Retries() int { return l.retries }
+
+// MaxRetries returns the retry budget.
+func (l *Lifecycle) MaxRetries() int { return l.maxRetries }
+
+// Fire applies ev. On an illegal pair the state is unchanged and the
+// returned error wraps ErrIllegalTransition. A Fail that would re-enqueue
+// the service consumes one retry; with the budget spent it dead-letters
+// instead.
+func (l *Lifecycle) Fire(ev Event) (State, error) {
+	next, ok := Transition(l.state, ev)
+	if !ok {
+		return l.state, fmt.Errorf("%w: %s + %s", ErrIllegalTransition, l.state, ev)
+	}
+	if ev == Fail && next == Pending {
+		if l.retries >= l.maxRetries {
+			next = DeadLetter
+		} else {
+			l.retries++
+		}
+	}
+	l.state = next
+	return next, nil
+}

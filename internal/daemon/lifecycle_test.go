@@ -1,0 +1,173 @@
+package daemon
+
+import (
+	"errors"
+	"testing"
+)
+
+// legal is the complete expected transition table; every (state, event)
+// pair absent from it must be rejected. Fail successors are the raw
+// table positions — retry exhaustion (Pending → DeadLetter) is asserted
+// separately, since it depends on the budget, not the table.
+var legal = map[State]map[Event]State{
+	Pending:  {Place: Placed, Drain: Stopped, Fail: Pending},
+	Placed:   {Start: Running, Drain: Draining, Fail: Pending},
+	Running:  {Drain: Draining, Fail: Pending},
+	Draining: {Drained: Stopped, Fail: Stopped},
+}
+
+var allStates = []State{Pending, Placed, Running, Draining, Stopped, DeadLetter}
+var allEvents = []Event{Place, Start, Drain, Drained, Fail}
+
+// Exhaustive (state, event) coverage: the Transition function must agree
+// with the expected table on every one of the numStates×numEvents pairs.
+func TestLifecycleTransitionTableExhaustive(t *testing.T) {
+	if len(allStates) != numStates || len(allEvents) != numEvents {
+		t.Fatalf("test table covers %d states / %d events, machine has %d / %d",
+			len(allStates), len(allEvents), numStates, numEvents)
+	}
+	for _, s := range allStates {
+		for _, ev := range allEvents {
+			want, wantOK := legal[s][ev]
+			got, ok := Transition(s, ev)
+			if ok != wantOK {
+				t.Errorf("Transition(%s, %s): legal=%v, want %v", s, ev, ok, wantOK)
+				continue
+			}
+			if ok && got != want {
+				t.Errorf("Transition(%s, %s) = %s, want %s", s, ev, got, want)
+			}
+			if !ok && got != s {
+				t.Errorf("Transition(%s, %s) illegal but moved to %s", s, ev, got)
+			}
+
+			// Fire must agree with Transition, including leaving the
+			// state untouched and naming the error on rejection.
+			lc := &Lifecycle{state: s, maxRetries: 5}
+			fired, err := lc.Fire(ev)
+			if wantOK {
+				if err != nil {
+					t.Errorf("Fire(%s, %s): unexpected error %v", s, ev, err)
+				} else if fired != want {
+					t.Errorf("Fire(%s, %s) = %s, want %s", s, ev, fired, want)
+				}
+			} else {
+				if !errors.Is(err, ErrIllegalTransition) {
+					t.Errorf("Fire(%s, %s): err = %v, want ErrIllegalTransition", s, ev, err)
+				}
+				if lc.State() != s {
+					t.Errorf("Fire(%s, %s) rejected but state moved to %s", s, ev, lc.State())
+				}
+			}
+		}
+	}
+}
+
+func TestLifecycleTerminalStates(t *testing.T) {
+	for _, s := range allStates {
+		wantTerminal := s == Stopped || s == DeadLetter
+		if s.Terminal() != wantTerminal {
+			t.Errorf("%s.Terminal() = %v, want %v", s, s.Terminal(), wantTerminal)
+		}
+		if !wantTerminal {
+			continue
+		}
+		for _, ev := range allEvents {
+			lc := &Lifecycle{state: s}
+			if _, err := lc.Fire(ev); !errors.Is(err, ErrIllegalTransition) {
+				t.Errorf("Fire(%s, %s) on terminal state: err = %v, want ErrIllegalTransition", s, ev, err)
+			}
+		}
+	}
+}
+
+// Retry accounting: each requeue-ing Fail consumes one retry; the Fail
+// after the budget is spent dead-letters instead of re-enqueueing.
+func TestLifecycleRetryBudgetAndDeadLetter(t *testing.T) {
+	const budget = 3
+	lc := NewLifecycle(budget)
+	for i := 0; i < budget; i++ {
+		if _, err := lc.Fire(Place); err != nil {
+			t.Fatalf("retry %d: Place: %v", i, err)
+		}
+		if st, err := lc.Fire(Fail); err != nil || st != Pending {
+			t.Fatalf("retry %d: Fail → (%s, %v), want Pending", i, st, err)
+		}
+		if lc.Retries() != i+1 {
+			t.Fatalf("retry %d: count = %d, want %d", i, lc.Retries(), i+1)
+		}
+	}
+	if st, err := lc.Fire(Fail); err != nil || st != DeadLetter {
+		t.Fatalf("exhausted Fail → (%s, %v), want DeadLetter", st, err)
+	}
+	if lc.Retries() != budget {
+		t.Fatalf("dead-letter entry grew retries to %d, budget %d", lc.Retries(), budget)
+	}
+}
+
+func TestLifecycleZeroBudgetDeadLettersImmediately(t *testing.T) {
+	lc := NewLifecycle(0)
+	if st, err := lc.Fire(Fail); err != nil || st != DeadLetter {
+		t.Fatalf("Fail with zero budget → (%s, %v), want DeadLetter", st, err)
+	}
+}
+
+func TestRestoreLifecycleValidation(t *testing.T) {
+	if _, err := RestoreLifecycle(Running, 2, 3); err != nil {
+		t.Fatalf("valid restore rejected: %v", err)
+	}
+	if _, err := RestoreLifecycle(State(42), 0, 3); err == nil {
+		t.Fatal("unknown state accepted")
+	}
+	if _, err := RestoreLifecycle(Running, 4, 3); err == nil {
+		t.Fatal("retries above budget accepted")
+	}
+	if _, err := RestoreLifecycle(Running, -1, 3); err == nil {
+		t.Fatal("negative retries accepted")
+	}
+}
+
+// FuzzLifecycle replays arbitrary event sequences and asserts the
+// machine's invariants: the state stays inside the known set, nothing
+// leaves a terminal state, the retry count never exceeds the budget and
+// only ever grows, and a rejected event never mutates anything.
+func FuzzLifecycle(f *testing.F) {
+	f.Add([]byte{0, 1, 4, 4, 4, 4, 2, 3})
+	f.Add([]byte{4, 4, 4, 4, 4})
+	f.Add([]byte{0, 2, 3, 0})
+	f.Fuzz(func(t *testing.T, seq []byte) {
+		const budget = 2
+		lc := NewLifecycle(budget)
+		terminalAt := -1
+		for i, b := range seq {
+			ev := Event(b % byte(numEvents))
+			before, beforeRetries := lc.State(), lc.Retries()
+			st, err := lc.Fire(ev)
+
+			if int(st) >= numStates {
+				t.Fatalf("step %d: state escaped the machine: %d", i, st)
+			}
+			if err != nil {
+				if !errors.Is(err, ErrIllegalTransition) {
+					t.Fatalf("step %d: unnamed rejection: %v", i, err)
+				}
+				if lc.State() != before || lc.Retries() != beforeRetries {
+					t.Fatalf("step %d: rejected event mutated state %s→%s retries %d→%d",
+						i, before, lc.State(), beforeRetries, lc.Retries())
+				}
+			}
+			if terminalAt >= 0 && (err == nil || lc.State() != before) {
+				t.Fatalf("step %d: transition out of terminal state reached at step %d", i, terminalAt)
+			}
+			if lc.Retries() > budget {
+				t.Fatalf("step %d: retries %d exceed budget %d", i, lc.Retries(), budget)
+			}
+			if lc.Retries() < beforeRetries {
+				t.Fatalf("step %d: retry count shrank %d→%d", i, beforeRetries, lc.Retries())
+			}
+			if terminalAt < 0 && lc.State().Terminal() {
+				terminalAt = i
+			}
+		}
+	})
+}

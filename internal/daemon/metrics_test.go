@@ -1,0 +1,139 @@
+package daemon
+
+import (
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+func TestRegistryRenderFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("a_total", "counter", "First family.")
+	r.Describe("b", "gauge", "Second family.")
+	r.Add("a_total", Labels{"svc": "x"}, 2)
+	r.Add("a_total", Labels{"svc": "x"}, 1)
+	r.Add("a_total", Labels{"svc": `we"ird\na`, "z": "1"}, 1)
+	r.Set("b", nil, 2.5)
+	got := r.Render()
+	want := `# HELP a_total First family.
+# TYPE a_total counter
+a_total{svc="we\"ird\\na",z="1"} 1
+a_total{svc="x"} 3
+# HELP b Second family.
+# TYPE b gauge
+b 2.5
+`
+	if got != want {
+		t.Errorf("Render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if v := r.Get("a_total", Labels{"svc": "x"}); v != 3 {
+		t.Errorf("Get = %v, want 3", v)
+	}
+	if v := r.Get("missing", nil); v != 0 {
+		t.Errorf("Get on unknown family = %v, want 0", v)
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("x", "counter", "")
+	mustPanic(t, "redeclare", func() { r.Describe("x", "gauge", "") })
+	mustPanic(t, "undescribed", func() { r.Add("y", nil, 1) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// TestMetricsGoldenScrape pins the complete /metrics exposition of a
+// deterministic 30-interval run against a committed golden file: family
+// names, types, help strings, label sets, and — because the simulator,
+// the learner and the injected fake clock are all seeded — the values
+// themselves. Regenerate with:
+//
+//	go test ./internal/daemon/ -run TestMetricsGoldenScrape -update
+func TestMetricsGoldenScrape(t *testing.T) {
+	// A fake wall clock makes the wall-time-derived gauges (control
+	// interval cost) deterministic: Step reads it exactly twice.
+	now := time.Unix(1700000000, 0)
+	cfg := Config{
+		Scale: tinyScale(),
+		Seed:  42,
+		Guard: true,
+		Now: func() time.Time {
+			now = now.Add(time.Millisecond)
+			return now
+		},
+	}
+	e, err := New(cfg, []AdmitRequest{{Name: "masstree", Load: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	w := httptest.NewRecorder()
+	NewMux(e).ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	got := w.Body.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("metrics scrape drifted from %s (regenerate with -update if intended):\n%s",
+			golden, diffLines(string(want), got))
+	}
+}
+
+// diffLines renders a minimal line diff for the golden mismatch report.
+func diffLines(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			b.WriteString("- " + w + "\n+ " + g + "\n")
+		}
+	}
+	return b.String()
+}

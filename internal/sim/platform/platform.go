@@ -159,6 +159,23 @@ func (p *Platform) SetOnline(id int, online bool) {
 	}
 }
 
+// RemapOwners rewrites every core's owner list through f, which maps an
+// old service index to its new index; returning keep=false drops the
+// owner from the core. Used when the set of hosted services changes at
+// runtime: the survivors' indices shift down and the departed service's
+// affinity entries must vanish.
+func (p *Platform) RemapOwners(f func(service int) (newIndex int, keep bool)) {
+	for i := range p.cores {
+		var out []int
+		for _, o := range p.cores[i].Owners {
+			if n, keep := f(o); keep {
+				out = append(out, n)
+			}
+		}
+		p.cores[i].Owners = out
+	}
+}
+
 // ClearAffinity removes all service→core assignments.
 func (p *Platform) ClearAffinity() {
 	for i := range p.cores {

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -175,6 +176,66 @@ func NewServer(cfg Config, specs []ServiceSpec) *Server {
 		s.inj = faults.NewInjector(*cfg.Faults, cfg.MeasurementSeed+3, len(specs), s.ManagedCores())
 	}
 	return s
+}
+
+// ErrFaultsArmed is returned by AddService and RemoveService when a
+// fault scenario is armed: the injector's deterministic schedule is
+// drawn per-service at construction, so changing the membership would
+// silently change every subsequent fault draw and break reproducibility.
+var ErrFaultsArmed = errors.New("sim: service membership is fixed while a fault scenario is armed")
+
+// AddService admits a new service to the running server. The instance
+// starts cold (empty queue, no affinity) at the current clock; existing
+// services keep their state and indices. The caller is responsible for
+// seeding spec.Seed deterministically — unlike NewServer, no per-index
+// offset is added. Returns ErrFaultsArmed when fault injection is on.
+func (s *Server) AddService(spec ServiceSpec) error {
+	if s.inj != nil {
+		return ErrFaultsArmed
+	}
+	s.specs = append(s.specs, spec)
+	s.insts = append(s.insts, service.NewInstance(spec.Profile, s.cfg.Platform.CoresPerSocket, spec.Seed))
+	s.crashPrev = append(s.crashPrev, false)
+	s.warmupLeft = append(s.warmupLeft, 0)
+	s.lastLat = append(s.lastLat, ServiceStats{})
+	s.haveLat = append(s.haveLat, false)
+	if s.appliedAsg.PerService != nil {
+		s.appliedAsg.PerService = append(s.appliedAsg.PerService, Allocation{})
+	}
+	return nil
+}
+
+// RemoveService evicts service i. Per-service state slices are
+// compacted and the platform's core-affinity owner lists are remapped so
+// surviving services keep their cores under their shifted indices.
+// Returns ErrFaultsArmed when fault injection is on.
+func (s *Server) RemoveService(i int) error {
+	if s.inj != nil {
+		return ErrFaultsArmed
+	}
+	if i < 0 || i >= len(s.insts) {
+		return fmt.Errorf("sim: service %d out of range [0,%d)", i, len(s.insts))
+	}
+	s.specs = append(s.specs[:i], s.specs[i+1:]...)
+	s.insts = append(s.insts[:i], s.insts[i+1:]...)
+	s.crashPrev = append(s.crashPrev[:i], s.crashPrev[i+1:]...)
+	s.warmupLeft = append(s.warmupLeft[:i], s.warmupLeft[i+1:]...)
+	s.lastLat = append(s.lastLat[:i], s.lastLat[i+1:]...)
+	s.haveLat = append(s.haveLat[:i], s.haveLat[i+1:]...)
+	if s.appliedAsg.PerService != nil && i < len(s.appliedAsg.PerService) {
+		s.appliedAsg.PerService = append(s.appliedAsg.PerService[:i], s.appliedAsg.PerService[i+1:]...)
+	}
+	s.plat.RemapOwners(func(svc int) (int, bool) {
+		switch {
+		case svc == i:
+			return 0, false
+		case svc > i:
+			return svc - 1, true
+		default:
+			return svc, true
+		}
+	})
+	return nil
 }
 
 // Platform exposes the hardware state (controllers use it to enumerate
