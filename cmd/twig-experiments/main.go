@@ -10,7 +10,8 @@
 // (default GOMAXPROCS); results are byte-identical at any setting.
 //
 // Experiment ids: fig1, table1, fig4, table2, table3, fig5, fig6, fig7,
-// figmem, fig8, fig9, fig10, fig11, fig12, fig13, figfault, ablations.
+// figmem, fig8, fig9, fig10, fig11, fig12, fig13, figfault, figchaos,
+// ablations.
 package main
 
 import (
@@ -78,6 +79,7 @@ func main() {
 		"fig11":           func() { fmt.Println(experiments.Fig11(sc, *seed)) },
 		"fig12":           func() { fmt.Println(experiments.Fig12(sc, *seed)) },
 		"figfault":        func() { fmt.Println(experiments.FigFault(sc, *seed)) },
+		"figchaos":        func() { fmt.Println(experiments.FigChaos(sc, *seed)) },
 		"fig13":           func() { fmt.Println(experiments.Fig13(experiments.ServicePairs(), sc, *seed)) },
 		"extension-cat":   func() { fmt.Println(experiments.ExtensionCAT(sc, *seed)) },
 		"extension-batch": func() { fmt.Println(experiments.BatchColoc(sc, *seed)) },
@@ -93,7 +95,7 @@ func main() {
 	order := []string{
 		"fig1", "table1", "fig4", "table2", "table3", "fig5", "fig6", "fig7",
 		"figmem", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-		"figfault", "extension-cat", "extension-batch", "ablations",
+		"figfault", "figchaos", "extension-cat", "extension-batch", "ablations",
 	}
 	if *exp == "all" {
 		for _, id := range order {

@@ -21,6 +21,7 @@ var (
 	errUnknownPattern = errors.New("twigd: unknown load pattern (want fixed, stepwise or diurnal)")
 	errUnknownService = errors.New("twigd: unknown service")
 	errUnknownScale   = errors.New("twigd: unknown scale (want quick or paper)")
+	errBadNodes       = errors.New("twigd: -nodes must be at least 1")
 )
 
 // runConfig is the parsed, validated command line.
@@ -43,6 +44,12 @@ type runConfig struct {
 	ckptDir   string
 	ckptEvery int
 	ckptKeep  int
+
+	// Fleet mode (-nodes > 1): the multi-node cluster coordinator
+	// replaces the single-node daemon engine.
+	nodes      int
+	nodeCap    int
+	nodeFaults faults.ClusterScenario
 }
 
 // parseConfig parses and validates twigd's flags from args (without the
@@ -70,6 +77,9 @@ func parseConfig(args []string, errOut io.Writer) (runConfig, error) {
 		ckptDir      = fs.String("checkpoint-dir", "", "directory for periodic crash-consistent checkpoints; on start the latest valid one is restored and the run resumes bit-identically")
 		ckptEvery    = fs.Int("checkpoint-every", 60, "write a checkpoint every N simulated seconds (with -checkpoint-dir)")
 		ckptKeep     = fs.Int("checkpoint-keep", 3, "checkpoints to retain on disk (with -checkpoint-dir)")
+		nodesFlag    = fs.Int("nodes", 1, "fleet size: >1 runs the multi-node cluster coordinator instead of the single-node daemon")
+		nodeCap      = fs.Int("node-capacity", 4, "replicas one fleet node hosts at once (with -nodes)")
+		nodeFaults   = fs.String("node-faults", "none", "whole-node fault scenario in fleet mode: "+strings.Join(faults.ClusterNames(), ", "))
 	)
 	if err := fs.Parse(args); err != nil {
 		return runConfig{}, err
@@ -89,6 +99,11 @@ func parseConfig(args []string, errOut io.Writer) (runConfig, error) {
 		ckptDir:   *ckptDir,
 		ckptEvery: *ckptEvery,
 		ckptKeep:  *ckptKeep,
+		nodes:     *nodesFlag,
+		nodeCap:   *nodeCap,
+	}
+	if cfg.nodes < 1 {
+		return runConfig{}, fmt.Errorf("%w: %d", errBadNodes, cfg.nodes)
 	}
 
 	for _, name := range strings.Split(*servicesFlag, ",") {
@@ -137,5 +152,11 @@ func parseConfig(args []string, errOut io.Writer) (runConfig, error) {
 		return runConfig{}, err
 	}
 	cfg.faults = scenario
+
+	nodeScenario, err := faults.NamedCluster(*nodeFaults)
+	if err != nil {
+		return runConfig{}, err
+	}
+	cfg.nodeFaults = nodeScenario
 	return cfg, nil
 }

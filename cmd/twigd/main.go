@@ -13,6 +13,15 @@
 //	twigd -services masstree -trace load.csv -csv run.csv -http :8080
 //	twigd -services masstree,moses -faults hostile -guard
 //	twigd -services masstree -faults crash -checkpoint-dir /var/lib/twigd
+//	twigd -nodes 3 -services masstree,xapian -node-faults chaos -seconds 600
+//
+// With -nodes N (N > 1) twigd runs a fleet: N simulated nodes, each
+// under its own Twig control loop, coordinated by the cluster control
+// plane — heartbeat leases, whole-node crash/partition detection
+// (-node-faults), warm failover from snapshots, and QoS-class
+// degradation when capacity drops. /status and /metrics then report the
+// fleet; the admission API is disabled (membership is fixed for
+// determinism).
 //
 // With -checkpoint-dir, the daemon writes a crash-consistent checkpoint
 // of the full control plane (simulated world, manager, guard, drainer,
@@ -46,7 +55,12 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	if err := run(cfg); err != nil {
+	if cfg.nodes > 1 {
+		err = runFleet(cfg)
+	} else {
+		err = run(cfg)
+	}
+	if err != nil {
 		fail("%v", err)
 	}
 }

@@ -42,6 +42,22 @@ type Checkpointable interface {
 	DecodeState(*Decoder) error
 }
 
+// renamed decorates a Checkpointable with a different section name, so
+// several components of the same type (e.g. one simulator per cluster
+// node) can share a container without colliding.
+type renamed struct {
+	Checkpointable
+	name string
+}
+
+func (r renamed) CheckpointName() string { return r.name }
+
+// Renamed returns c relabelled to the given section name. The cluster
+// checkpoint uses it to store one "node<i>-…" section per fleet node.
+func Renamed(c Checkpointable, name string) Checkpointable {
+	return renamed{Checkpointable: c, name: name}
+}
+
 // Marshal encodes the components into one checkpoint container, one
 // section per component in order.
 func Marshal(comps ...Checkpointable) []byte {

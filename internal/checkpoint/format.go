@@ -163,6 +163,14 @@ func (e *Encoder) String(s string) {
 	e.buf = append(e.buf, s...)
 }
 
+// Blob writes a length-prefixed opaque byte slice (nil encodes as
+// empty). The fleet checkpoint uses it to nest per-node snapshot
+// containers inside the cluster section.
+func (e *Encoder) Blob(v []byte) {
+	e.U32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
 // F64s writes a length-prefixed float64 slice (nil encodes as empty; use
 // an explicit Bool when nil-ness carries meaning).
 func (e *Encoder) F64s(v []float64) {
@@ -280,6 +288,17 @@ func (d *Decoder) String() string {
 		return ""
 	}
 	return string(b)
+}
+
+// Blob reads a length-prefixed opaque byte slice (empty decodes as
+// nil). The returned slice is a copy, safe to retain.
+func (d *Decoder) Blob() []byte {
+	n := int(d.U32())
+	b := d.take(n)
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]byte(nil), b...)
 }
 
 // sliceLen validates a length prefix against the remaining payload at

@@ -48,9 +48,18 @@ func WriteFileAtomic(path string, data []byte) error {
 // checkpoint was taken), so a restored run resumes numbering where the
 // crashed one left off.
 type Store struct {
-	dir  string
-	keep int
+	dir      string
+	keep     int
+	onReject func(path string, err error)
 }
+
+// SetRejectHook registers fn to be invoked for every candidate file
+// LoadLatest (and therefore ReadLatest) skips because it failed to
+// verify or restore — a torn write, a bit flip, a version skew. The
+// daemon uses it to log the rejected filename and count the fallback in
+// twigd_checkpoint_corrupt_total instead of silently walking past
+// corruption. fn must not call back into the store.
+func (s *Store) SetRejectHook(fn func(path string, err error)) { s.onReject = fn }
 
 // filePattern matches store-managed checkpoint files; %012d keeps
 // lexicographic order equal to numeric order.
@@ -166,6 +175,9 @@ func (s *Store) LoadLatest(restore func(data []byte) error) (uint64, error) {
 		}
 		if err == nil {
 			return seq, nil
+		}
+		if s.onReject != nil {
+			s.onReject(s.Path(seq), err)
 		}
 		if firstErr == nil {
 			firstErr = fmt.Errorf("checkpoint %s: %w", s.Path(seq), err)

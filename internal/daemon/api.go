@@ -162,7 +162,7 @@ func NewMux(e *Engine) *http.ServeMux {
 
 	mux.HandleFunc("POST /services", func(w http.ResponseWriter, r *http.Request) {
 		var req AdmitRequest
-		if err := decodeBody(r, &req); err != nil {
+		if err := decodeBody(w, r, &req); err != nil {
 			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 			return
 		}
@@ -189,7 +189,7 @@ func NewMux(e *Engine) *http.ServeMux {
 
 	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {
 		var req drainRequest
-		if err := decodeBody(r, &req); err != nil {
+		if err := decodeBody(w, r, &req); err != nil {
 			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 			return
 		}
@@ -212,11 +212,17 @@ func NewMux(e *Engine) *http.ServeMux {
 	return mux
 }
 
-// decodeBody parses a JSON request body strictly: unknown fields and
-// trailing garbage are rejected, so a typoed field fails loudly instead
-// of silently admitting a default-valued service.
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+// maxBodyBytes caps every admission-API request body; no legitimate
+// request is more than a few hundred bytes of JSON.
+const maxBodyBytes = 1 << 20
+
+// decodeBody parses a JSON request body strictly: bodies over
+// maxBodyBytes are cut off (and the connection closed, via the passed
+// ResponseWriter), unknown fields and trailing garbage are rejected, so
+// a typoed field fails loudly instead of silently admitting a
+// default-valued service.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return err
@@ -228,7 +234,8 @@ func decodeBody(r *http.Request, v any) error {
 }
 
 // NewServer wraps NewMux in a hardened http.Server (timeouts on every
-// phase), so a slow or hostile client cannot pin the daemon.
+// phase, bounded header size; bodies are bounded per-handler by
+// decodeBody), so a slow or hostile client cannot pin the daemon.
 func NewServer(addr string, e *Engine) *http.Server {
 	return &http.Server{
 		Addr:              addr,
@@ -237,5 +244,6 @@ func NewServer(addr string, e *Engine) *http.Server {
 		ReadHeaderTimeout: 2 * time.Second,
 		WriteTimeout:      5 * time.Second,
 		IdleTimeout:       30 * time.Second,
+		MaxHeaderBytes:    1 << 16,
 	}
 }

@@ -55,6 +55,9 @@ type ServiceView struct {
 	Load        float64 `json:"load"`
 	Pattern     string  `json:"pattern"`
 	QoSTargetMs float64 `json:"qos_target_ms"`
+	// Reason explains the most recent placement failure (set on a failed
+	// or dead-lettered service, cleared on successful placement).
+	Reason string `json:"reason,omitempty"`
 }
 
 // Config assembles a daemon engine.
@@ -79,6 +82,10 @@ type Config struct {
 	// MaxRetries bounds lifecycle Fail→Pending requeues before a
 	// service dead-letters (negative values become DefaultMaxRetries).
 	MaxRetries int
+	// MaxLive bounds how many services the simulator hosts at once
+	// (0 means unlimited). A boundary placement over the bound fails and
+	// consumes a lifecycle retry, eventually dead-lettering the service.
+	MaxLive int
 	// DrainTimeoutS force-completes a drain whose queue has not emptied
 	// after this many intervals (values < 1 become 30).
 	DrainTimeoutS int
@@ -116,10 +123,11 @@ type entry struct {
 	pattern  string
 	qosMs    float64
 	seed     int64
-	pat      loadgen.Pattern
-	inSim    bool // currently hosted by the simulator
-	remove   bool // deregister once terminal
-	drainFor int  // intervals spent draining, for the timeout
+	pat        loadgen.Pattern
+	inSim      bool   // currently hosted by the simulator
+	remove     bool   // deregister once terminal
+	drainFor   int    // intervals spent draining, for the timeout
+	failReason string // why the last placement failed (sticky on dead-letter)
 }
 
 func (en *entry) view() ServiceView {
@@ -130,6 +138,7 @@ func (en *entry) view() ServiceView {
 		Load:        en.load,
 		Pattern:     en.pattern,
 		QoSTargetMs: en.qosMs,
+		Reason:      en.failReason,
 	}
 }
 
@@ -175,10 +184,14 @@ func New(cfg Config, initial []AdmitRequest) (*Engine, error) {
 	if len(initial) == 0 {
 		return nil, fmt.Errorf("daemon: at least one initial service required")
 	}
+	if cfg.MaxLive > 0 && len(initial) > cfg.MaxLive {
+		return nil, fmt.Errorf("daemon: %d initial services exceed the live-capacity limit %d", len(initial), cfg.MaxLive)
+	}
 	e := &Engine{cfg: cfg, metrics: NewRegistry()}
 	e.describeMetrics()
 	if cfg.Store != nil {
 		e.writer = checkpoint.NewAsyncWriter(cfg.Store)
+		cfg.Store.SetRejectHook(e.corruptHook())
 	}
 	for _, req := range initial {
 		if _, err := e.register(req); err != nil {
@@ -591,9 +604,13 @@ func (e *Engine) applyBoundary() {
 			}
 		}
 	}
-	// Place pending admissions.
+	// Place pending admissions, honouring the live-capacity bound.
 	for _, en := range e.entries {
 		if en.lc.State() != Pending || en.inSim {
+			continue
+		}
+		if e.cfg.MaxLive > 0 && len(e.liveEntries()) >= e.cfg.MaxLive {
+			e.failPlacement(en, fmt.Sprintf("live-capacity limit %d reached", e.cfg.MaxLive))
 			continue
 		}
 		err := e.srv.AddService(sim.ServiceSpec{
@@ -602,10 +619,11 @@ func (e *Engine) applyBoundary() {
 			Seed:        en.seed,
 		})
 		if err != nil {
-			e.fire(en, Fail)
+			e.failPlacement(en, err.Error())
 			continue
 		}
 		en.inSim = true
+		en.failReason = ""
 		changed = true
 		e.fire(en, Place)
 		e.fire(en, Start)
@@ -626,6 +644,30 @@ func (e *Engine) applyBoundary() {
 	if e.reloadReq {
 		e.reloadReq = false
 		e.doReload()
+	}
+}
+
+// failPlacement records one failed boundary placement: the metric is
+// bumped, the lifecycle machine consumes a retry (dead-lettering once
+// the budget is spent), and the cause is kept on the entry so
+// /services and /status can explain why the service is not running.
+func (e *Engine) failPlacement(en *entry, cause string) {
+	e.metrics.Add("twigd_placement_failures_total", nil, 1)
+	st, _ := e.fire(en, Fail)
+	if st == DeadLetter {
+		en.failReason = fmt.Sprintf("dead-lettered after %d attempts: %s", en.lc.Retries()+1, cause)
+	} else {
+		en.failReason = "placement failed: " + cause
+	}
+}
+
+// corruptHook returns the checkpoint-store reject callback: every
+// checkpoint skipped as corrupt during a fallback scan is counted and
+// named, so silent restore degradation shows up in the scrape and log.
+func (e *Engine) corruptHook() func(path string, err error) {
+	return func(path string, err error) {
+		e.metrics.Add("twigd_checkpoint_corrupt_total", nil, 1)
+		fmt.Fprintf(os.Stderr, "twigd: skipping corrupt checkpoint %s: %v\n", path, err)
 	}
 }
 

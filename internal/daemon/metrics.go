@@ -1,147 +1,18 @@
 package daemon
 
-import (
-	"fmt"
-	"sort"
-	"strconv"
-	"strings"
-	"sync"
-)
+import "github.com/twig-sched/twig/internal/metrics"
+
+// The metrics registry lives in internal/metrics so the cluster
+// coordinator can share it without importing the daemon (which would
+// cycle through internal/experiments). The daemon API keeps the old
+// names as aliases.
 
 // Labels attaches dimension values to one metric series.
-type Labels map[string]string
+type Labels = metrics.Labels
 
-// Registry is a minimal Prometheus-text-format metrics registry: enough
-// for twigd to expose counters and gauges on /metrics without pulling a
-// client library into the module. Families are declared once with a
-// type and help string; series within a family are keyed by their
-// sorted, escaped label rendering, so Render output is byte-stable for
-// a deterministic run — which is what the golden scrape test pins.
-type Registry struct {
-	mu       sync.Mutex
-	families map[string]*family
-	names    []string // declaration order is preserved in Render
-}
-
-type family struct {
-	typ, help string
-	series    map[string]float64
-	keys      []string // insertion order of series keys
-}
+// Registry is the Prometheus-text-format metrics registry backing
+// /metrics; see internal/metrics.
+type Registry = metrics.Registry
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{families: map[string]*family{}}
-}
-
-// Describe declares a metric family. typ is "counter" or "gauge".
-// Redeclaring a name is a programming error and panics.
-func (r *Registry) Describe(name, typ, help string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, dup := r.families[name]; dup {
-		panic(fmt.Sprintf("daemon: metric %q declared twice", name))
-	}
-	r.families[name] = &family{typ: typ, help: help, series: map[string]float64{}}
-	r.names = append(r.names, name)
-}
-
-// Add increments a counter series by delta (creating it at delta).
-func (r *Registry) Add(name string, labels Labels, delta float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f := r.mustFamily(name)
-	k := renderLabels(labels)
-	if _, ok := f.series[k]; !ok {
-		f.keys = append(f.keys, k)
-	}
-	f.series[k] += delta
-}
-
-// Set overwrites a gauge series with v (creating it if needed).
-func (r *Registry) Set(name string, labels Labels, v float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f := r.mustFamily(name)
-	k := renderLabels(labels)
-	if _, ok := f.series[k]; !ok {
-		f.keys = append(f.keys, k)
-	}
-	f.series[k] = v
-}
-
-// Get returns the current value of a series (0 if absent); tests use it
-// to assert counters without scraping.
-func (r *Registry) Get(name string, labels Labels) float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f, ok := r.families[name]
-	if !ok {
-		return 0
-	}
-	return f.series[renderLabels(labels)]
-}
-
-func (r *Registry) mustFamily(name string) *family {
-	f, ok := r.families[name]
-	if !ok {
-		panic(fmt.Sprintf("daemon: metric %q used before Describe", name))
-	}
-	return f
-}
-
-// Render writes the registry in the Prometheus text exposition format.
-// Families appear in declaration order; series within a family in
-// sorted label order, so equal state renders equal bytes.
-func (r *Registry) Render() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var b strings.Builder
-	for _, name := range r.names {
-		f := r.families[name]
-		if f.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", name, f.help)
-		}
-		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.typ)
-		keys := append([]string(nil), f.keys...)
-		sort.Strings(keys)
-		for _, k := range keys {
-			b.WriteString(name)
-			b.WriteString(k)
-			b.WriteByte(' ')
-			b.WriteString(strconv.FormatFloat(f.series[k], 'g', -1, 64))
-			b.WriteByte('\n')
-		}
-	}
-	return b.String()
-}
-
-// renderLabels produces the canonical {k="v",...} suffix (empty for no
-// labels), with keys sorted and values escaped per the text format.
-func renderLabels(labels Labels) string {
-	if len(labels) == 0 {
-		return ""
-	}
-	keys := make([]string, 0, len(labels))
-	for k := range labels {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var b strings.Builder
-	b.WriteByte('{')
-	for i, k := range keys {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(k)
-		b.WriteString(`="`)
-		v := labels[k]
-		v = strings.ReplaceAll(v, `\`, `\\`)
-		v = strings.ReplaceAll(v, "\n", `\n`)
-		v = strings.ReplaceAll(v, `"`, `\"`)
-		b.WriteString(v)
-		b.WriteByte('"')
-	}
-	b.WriteByte('}')
-	return b.String()
-}
+func NewRegistry() *Registry { return metrics.NewRegistry() }

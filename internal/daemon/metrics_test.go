@@ -13,51 +13,6 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
 
-func TestRegistryRenderFormat(t *testing.T) {
-	r := NewRegistry()
-	r.Describe("a_total", "counter", "First family.")
-	r.Describe("b", "gauge", "Second family.")
-	r.Add("a_total", Labels{"svc": "x"}, 2)
-	r.Add("a_total", Labels{"svc": "x"}, 1)
-	r.Add("a_total", Labels{"svc": `we"ird\na`, "z": "1"}, 1)
-	r.Set("b", nil, 2.5)
-	got := r.Render()
-	want := `# HELP a_total First family.
-# TYPE a_total counter
-a_total{svc="we\"ird\\na",z="1"} 1
-a_total{svc="x"} 3
-# HELP b Second family.
-# TYPE b gauge
-b 2.5
-`
-	if got != want {
-		t.Errorf("Render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
-	}
-	if v := r.Get("a_total", Labels{"svc": "x"}); v != 3 {
-		t.Errorf("Get = %v, want 3", v)
-	}
-	if v := r.Get("missing", nil); v != 0 {
-		t.Errorf("Get on unknown family = %v, want 0", v)
-	}
-}
-
-func TestRegistryPanicsOnMisuse(t *testing.T) {
-	r := NewRegistry()
-	r.Describe("x", "counter", "")
-	mustPanic(t, "redeclare", func() { r.Describe("x", "gauge", "") })
-	mustPanic(t, "undescribed", func() { r.Add("y", nil, 1) })
-}
-
-func mustPanic(t *testing.T, name string, f func()) {
-	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Errorf("%s: expected panic", name)
-		}
-	}()
-	f()
-}
-
 // TestMetricsGoldenScrape pins the complete /metrics exposition of a
 // deterministic 30-interval run against a committed golden file: family
 // names, types, help strings, label sets, and — because the simulator,

@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"fmt"
+	"os"
 
 	"github.com/twig-sched/twig/internal/checkpoint"
 	"github.com/twig-sched/twig/internal/ctrl"
@@ -23,6 +24,7 @@ type persistedEntry struct {
 	inSim      bool
 	remove     bool
 	drainFor   int
+	failReason string
 }
 
 // daemonState is the daemon's own checkpoint section: the service
@@ -65,6 +67,7 @@ func (st *daemonState) EncodeState(e *checkpoint.Encoder) {
 		e.Bool(pe.inSim)
 		e.Bool(pe.remove)
 		e.Int(pe.drainFor)
+		e.String(pe.failReason)
 	}
 	ctrl.EncodeObservation(e, st.obs)
 	sim.EncodeAssignment(e, st.lastValid)
@@ -99,6 +102,7 @@ func (st *daemonState) DecodeState(d *checkpoint.Decoder) error {
 		pe.inSim = d.Bool()
 		pe.remove = d.Bool()
 		pe.drainFor = d.Int()
+		pe.failReason = d.String()
 		if err := d.Err(); err != nil {
 			return err
 		}
@@ -145,6 +149,7 @@ func (e *Engine) snapshotState() *daemonState {
 			inSim:      en.inSim,
 			remove:     en.remove,
 			drainFor:   en.drainFor,
+			failReason: en.failReason,
 		})
 	}
 	return st
@@ -174,6 +179,15 @@ func RestoreLatest(cfg Config) (*Engine, uint64, error) {
 	if cfg.Store == nil {
 		return nil, 0, ErrNoStore
 	}
+	// The engine (and its metrics registry) does not exist yet, so count
+	// corrupt checkpoints skipped by the fallback scan locally and
+	// transfer the tally once the registry is up; the hook is then
+	// re-pointed at the live engine for subsequent reloads.
+	corrupt := 0
+	cfg.Store.SetRejectHook(func(path string, err error) {
+		corrupt++
+		fmt.Fprintf(os.Stderr, "twigd: skipping corrupt checkpoint %s: %v\n", path, err)
+	})
 	seq, data, err := cfg.Store.ReadLatest()
 	if err != nil {
 		return nil, 0, err
@@ -192,6 +206,10 @@ func RestoreLatest(cfg Config) (*Engine, uint64, error) {
 
 	e := &Engine{cfg: cfg, metrics: NewRegistry(), resumed: seq}
 	e.describeMetrics()
+	if corrupt > 0 {
+		e.metrics.Add("twigd_checkpoint_corrupt_total", nil, float64(corrupt))
+	}
+	cfg.Store.SetRejectHook(e.corruptHook())
 	e.writer = checkpoint.NewAsyncWriter(cfg.Store)
 	e.gen = st.gen
 	e.admitted = st.admitted
@@ -211,16 +229,17 @@ func RestoreLatest(cfg Config) (*Engine, uint64, error) {
 			return nil, 0, fmt.Errorf("daemon: checkpoint %d, service %q: %w", seq, pe.name, err)
 		}
 		en := &entry{
-			lc:       lc,
-			name:     pe.name,
-			load:     pe.load,
-			pattern:  pe.pattern,
-			qosMs:    pe.qosMs,
-			seed:     pe.seed,
-			pat:      pat,
-			inSim:    pe.inSim,
-			remove:   pe.remove,
-			drainFor: pe.drainFor,
+			lc:         lc,
+			name:       pe.name,
+			load:       pe.load,
+			pattern:    pe.pattern,
+			qosMs:      pe.qosMs,
+			seed:       pe.seed,
+			pat:        pat,
+			inSim:      pe.inSim,
+			remove:     pe.remove,
+			drainFor:   pe.drainFor,
+			failReason: pe.failReason,
 		}
 		e.entries = append(e.entries, en)
 		if pe.inSim {

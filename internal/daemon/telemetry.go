@@ -15,6 +15,7 @@ func (e *Engine) describeMetrics() {
 	m.Describe("twigd_intervals_total", "counter", "Monitoring intervals executed since daemon start.")
 	m.Describe("twigd_decide_panics_total", "counter", "Controller panics converted into the last valid assignment.")
 	m.Describe("twigd_step_errors_total", "counter", "Assignments the simulator rejected (fell back to last valid).")
+	m.Describe("twigd_placement_failures_total", "counter", "Boundary placements that failed (capacity bound or simulator rejection).")
 	m.Describe("twigd_qos_violations_total", "counter", "Intervals whose measured p99 missed the QoS target, per service.")
 	m.Describe("twigd_lifecycle_transitions_total", "counter", "Service lifecycle transitions, by from/to state.")
 	m.Describe("twigd_weight_reloads_total", "counter", "Hot weight reloads from the checkpoint store, by result.")
@@ -35,6 +36,7 @@ func (e *Engine) describeMetrics() {
 	m.Describe("twigd_guard_breaker_engaged", "gauge", "Whether the QoS circuit breaker is escalated, per service.")
 	m.Describe("twigd_checkpoint_writes_total", "counter", "Checkpoints that reached disk.")
 	m.Describe("twigd_checkpoint_failed_total", "counter", "Checkpoint writes that returned an error.")
+	m.Describe("twigd_checkpoint_corrupt_total", "counter", "Checkpoints skipped as corrupt during a restore or reload fallback scan.")
 	m.Describe("twigd_checkpoint_dropped_total", "counter", "Snapshots dropped by the latest-wins writer policy.")
 	m.Describe("twigd_checkpoint_last_seq", "gauge", "Sequence number of the newest durable checkpoint.")
 	m.Describe("twigd_checkpoint_write_seconds", "gauge", "Wall-clock cost of the most recent checkpoint write.")

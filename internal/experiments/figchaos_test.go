@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/sim/faults"
+)
+
+// One chaos cell must be reproducible run-to-run and end invariant-clean:
+// every replica either running on a leased node or dead-lettered with a
+// reason, accounting balanced.
+func TestChaosCellDeterministicAndInvariantClean(t *testing.T) {
+	sc := tinyScale()
+	cs := faults.MustNamedCluster("chaos")
+	adaptClusterScenario(&cs, 160)
+
+	a := ChaosCellRun(sc, 21, cs, false, 3, 160)
+	b := ChaosCellRun(sc, 21, cs, false, 3, 160)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical chaos cells diverge:\n%+v\n%+v", a, b)
+	}
+	if len(a.Invariants) > 0 {
+		t.Fatalf("invariant violations at sweep end: %v", a.Invariants)
+	}
+	if a.EventsInjected == 0 || a.LeaseExpiries == 0 {
+		t.Fatalf("chaos scenario injected nothing: %+v", a)
+	}
+}
+
+// The headline fleet claim: when a node outage is long relative to the
+// lease TTL, the adaptive coordinator keeps replicas dark for fewer
+// intervals than static partitioning, because it migrates them off the
+// dead node instead of waiting out the outage. (Short blips cut the
+// other way — waiting beats paying the lease-expiry and backoff
+// machinery — which is why the comparison uses a long outage.)
+func TestFleetBeatsStaticPinningUnderNodeCrash(t *testing.T) {
+	sc := tinyScale()
+	cs := faults.ClusterScenario{Name: "longcrash", CrashPeriodS: 60, CrashOfflineS: 30, QuietAfterS: 100}
+
+	fleet := ChaosCellRun(sc, 21, cs, false, 3, 160)
+	pinned := ChaosCellRun(sc, 21, cs, true, 3, 160)
+	if len(fleet.Invariants) > 0 || len(pinned.Invariants) > 0 {
+		t.Fatalf("invariant violations: fleet=%v pinned=%v", fleet.Invariants, pinned.Invariants)
+	}
+	if fleet.Migrations == 0 {
+		t.Fatalf("adaptive fleet never migrated under node crashes: %+v", fleet)
+	}
+	// Pinned replicas only ever recover onto their home node, so the
+	// baseline must show no cross-node restores (recovery re-placements
+	// on the home node still count as migrations).
+	if pinned.ColdRestores != 0 || pinned.WarmRestores != 0 {
+		t.Fatalf("static partitioning restored across nodes: %+v", pinned)
+	}
+	if fleet.DarkIntervals >= pinned.DarkIntervals {
+		t.Fatalf("fleet dark %d s not below pinned %d s", fleet.DarkIntervals, pinned.DarkIntervals)
+	}
+}
+
+func TestAdaptClusterScenario(t *testing.T) {
+	cs := faults.MustNamedCluster("nodecrash") // period 300, offline 25
+	adaptClusterScenario(&cs, 200)
+	if cs.CrashPeriodS != 50 {
+		t.Fatalf("period = %d, want 50", cs.CrashPeriodS)
+	}
+	if cs.CrashOfflineS > cs.CrashPeriodS/2 {
+		t.Fatalf("offline %d too long for period %d", cs.CrashOfflineS, cs.CrashPeriodS)
+	}
+	if cs.QuietAfterS <= 0 || cs.QuietAfterS > 200-60 {
+		t.Fatalf("quiet window = %d", cs.QuietAfterS)
+	}
+	long := faults.MustNamedCluster("nodecrash")
+	adaptClusterScenario(&long, 5000)
+	if long.CrashPeriodS != 300 || long.CrashOfflineS != 25 {
+		t.Fatalf("long sweeps must keep the scenario untouched: %+v", long)
+	}
+}
+
+func TestFigChaosRendering(t *testing.T) {
+	r := FigChaosResult{
+		Scenarios: []string{"chaos"},
+		Nodes:     3,
+		Seconds:   400,
+		Cells: []ChaosCell{
+			{Scenario: "chaos", Manager: "twig-fleet", MeanQoS: 0.93, MinQoS: 0.81, DarkIntervals: 40,
+				EnergyJ: 9000, EventsInjected: 5, LeaseExpiries: 3, Migrations: 4, WarmRestores: 2, ShedIntervals: 12},
+			{Scenario: "chaos", Manager: "static-pin", MeanQoS: 0.74, MinQoS: 0.40, DarkIntervals: 160,
+				EnergyJ: 8800, EventsInjected: 5, LeaseExpiries: 3, DeadLetters: 1,
+				Invariants: []string{"replica 4 (moses) unresolved at sweep end: pending"}},
+		},
+	}
+	s := r.String()
+	for _, want := range []string{
+		"twig-fleet", "static-pin", "93.0%", "migrations 4 (2 warm)",
+		"dead-letters 1", "INVARIANT VIOLATIONS",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

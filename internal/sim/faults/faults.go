@@ -51,6 +51,16 @@ const (
 	// LoadSpike multiplies a service's offered load by Magnitude — a
 	// flash crowd.
 	LoadSpike
+	// NodeCrash kills a whole cluster node: its simulated world is lost,
+	// every hosted replica goes dark, and its heartbeats stop until the
+	// outage ends, at which point the node rejoins empty. Scheduled by
+	// the ClusterInjector; never appears in a per-node schedule.
+	NodeCrash
+	// NodePartition isolates a node from the coordinator: the node keeps
+	// running its control loop but its heartbeats are lost, so its lease
+	// expires, the node self-fences and the coordinator re-places its
+	// replicas. Scheduled by the ClusterInjector.
+	NodePartition
 
 	numKinds
 )
@@ -58,6 +68,7 @@ const (
 var kindNames = [numKinds]string{
 	"pmc-dropout", "pmc-corrupt", "latency-dropout", "latency-stale",
 	"rapl-fail", "core-fail", "actuation-drop", "service-crash", "load-spike",
+	"node-crash", "node-partition",
 }
 
 // String names the fault kind.
