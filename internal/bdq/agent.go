@@ -205,9 +205,16 @@ func (a *Agent) Step() int { return a.step }
 // each branch independently explores with probability ε, as in
 // action-branching architectures. The environment step counter advances.
 func (a *Agent) SelectActions(state []float64) [][]int {
+	return a.applyExploration(a.greedy(state))
+}
+
+// applyExploration advances the environment step counter and overlays
+// per-branch ε-greedy exploration on greedy selections — the RNG draws
+// of SelectActions, in the same per-agent order, factored out so the
+// pooled path can batch the greedy forward and keep the draws exact.
+func (a *Agent) applyExploration(acts [][]int) [][]int {
 	eps := a.Epsilon()
 	a.step++
-	acts := a.greedy(state)
 	for k := range acts {
 		for d := range acts[k] {
 			if a.rng.Float64() < eps {
@@ -255,14 +262,7 @@ func (a *Agent) QValues(state []float64) [][][]float64 {
 // Observe stores a transition and, once warm, performs one training step.
 // It returns the minibatch loss (0 when no training happened).
 func (a *Agent) Observe(t replay.Transition) float64 {
-	if len(t.Actions) != a.cfg.Spec.Agents*len(a.cfg.Spec.Dims) {
-		panic("bdq: transition action count mismatch")
-	}
-	if len(t.Rewards) != a.cfg.Spec.Agents {
-		panic("bdq: transition reward count mismatch")
-	}
-	a.buffer.Add(t)
-	if a.buffer.Len() < a.cfg.WarmupSteps {
+	if !a.observeAdd(t) {
 		return 0
 	}
 	var loss float64
@@ -272,103 +272,151 @@ func (a *Agent) Observe(t replay.Transition) float64 {
 	return loss
 }
 
+// observeAdd validates and stores a transition, reporting whether the
+// buffer is warm enough to train — Observe's preamble, shared with the
+// pooled path.
+func (a *Agent) observeAdd(t replay.Transition) bool {
+	if len(t.Actions) != a.cfg.Spec.Agents*len(a.cfg.Spec.Dims) {
+		panic("bdq: transition action count mismatch")
+	}
+	if len(t.Rewards) != a.cfg.Spec.Agents {
+		panic("bdq: transition reward count mismatch")
+	}
+	a.buffer.Add(t)
+	return a.buffer.Len() >= a.cfg.WarmupSteps
+}
+
 // TrainStep samples a minibatch, forms per-branch TD targets with the
 // target network (actions chosen by the online network — double DQN
 // style), backpropagates the weighted squared error, applies Adam and
 // periodically syncs the target network. Returns the minibatch loss.
+//
+// The step is split into phases so the pooled path (pool.go) can run
+// the eval-mode forwards of many agents as one grouped GEMM while
+// keeping every agent's own operation order — and therefore its RNG
+// draw order and every rounding — exactly as the monolithic step had.
 func (a *Agent) TrainStep() float64 {
-	spec := a.cfg.Spec
-	K, D := spec.Agents, len(spec.Dims)
+	ws := a.trainWorkspace()
+	n := a.trainSample()
+	onlineNext := a.online.Forward(ws.next, false)
+	a.trainArgmax(onlineNext, n)
+	targetNext := a.target.Forward(ws.next, false)
+	a.trainTargets(targetNext, n)
+	loss := a.trainBackprop(targetNext, n)
+	a.trainCommit()
+	return loss
+}
+
+// trainSample draws the minibatch and fills the state/next-state
+// matrices. Returns the batch row count (always BatchSize — SampleInto
+// samples with replacement).
+func (a *Agent) trainSample() int {
 	ws := a.trainWorkspace()
 	a.buffer.SampleInto(&ws.batch, a.cfg.BatchSize, a.rng.Rand)
-	batch := &ws.batch
-	n := len(batch.Transitions)
-
-	states, next := ws.states, ws.next
-	for i, t := range batch.Transitions {
-		copy(states.Row(i), t.State)
-		copy(next.Row(i), t.NextState)
+	n := len(ws.batch.Transitions)
+	for i, t := range ws.batch.Transitions {
+		copy(ws.states.Row(i), t.State)
+		copy(ws.next.Row(i), t.NextState)
 	}
+	return n
+}
 
-	// Action selection on s′ with the online net, evaluation with the
-	// target net.
-	onlineNext := a.online.Forward(next, false)
-	argmax := ws.argmax
-	for k := 0; k < K; k++ {
-		for d := 0; d < D; d++ {
+// trainArgmax extracts the online network's action selections on s′
+// (double-DQN style) from an eval forward over ws.next.
+func (a *Agent) trainArgmax(onlineNext *Output, n int) {
+	spec := a.cfg.Spec
+	ws := a.train
+	for k := 0; k < spec.Agents; k++ {
+		for d := range spec.Dims {
 			for b := 0; b < n; b++ {
-				argmax[k][d][b] = mat.Argmax(onlineNext.Q[k][d].Row(b))
+				ws.argmax[k][d][b] = mat.Argmax(onlineNext.Q[k][d].Row(b))
 			}
 		}
 	}
-	targetNext := a.target.Forward(next, false)
+}
 
-	// y[k][b]: bootstrap value per agent.
-	y := ws.y
-	for k := 0; k < K; k++ {
+// trainTargets forms the per-agent bootstrap values y[k][b] from the
+// target network's eval forward over ws.next.
+func (a *Agent) trainTargets(targetNext *Output, n int) {
+	spec := a.cfg.Spec
+	D := len(spec.Dims)
+	ws := a.train
+	for k := 0; k < spec.Agents; k++ {
 		for b := 0; b < n; b++ {
-			t := batch.Transitions[b]
+			t := ws.batch.Transitions[b]
 			if t.Done {
-				y[k][b] = t.Rewards[k]
+				ws.y[k][b] = t.Rewards[k]
 				continue
 			}
 			var boot float64
 			for d := 0; d < D; d++ {
-				boot += targetNext.Q[k][d].At(b, argmax[k][d][b])
+				boot += targetNext.Q[k][d].At(b, ws.argmax[k][d][b])
 			}
 			if a.cfg.TargetMode == TargetMeanBranches {
 				boot /= float64(D)
 			}
-			y[k][b] = t.Rewards[k] + a.cfg.Gamma*boot
+			ws.y[k][b] = t.Rewards[k] + a.cfg.Gamma*boot
 		}
 	}
+}
 
-	// Forward the current states in training mode and build the
-	// gradient: only the taken action of each branch receives error.
-	// Note this second online forward overwrites onlineNext (both use the
-	// network's batch-n Output workspace); argmax was extracted above.
-	// Gradients are already zero: parameters start that way and the
-	// optimiser step below clears them as it consumes them.
-	out := a.online.Forward(states, true)
-	gradQ := ws.gradQ
+// trainBackprop forwards the current states in training mode, builds
+// the gradient — only the taken action of each branch receives error —
+// backpropagates it and returns the (normalised) minibatch loss.
+//
+// The train-mode forward overwrites the eval Output of the same batch
+// size (both use the network's workspace); argmax was extracted first.
+// Gradients are already zero: parameters start that way and the
+// optimiser step in trainCommit clears them as it consumes them.
+func (a *Agent) trainBackprop(targetNext *Output, n int) float64 {
+	spec := a.cfg.Spec
+	K, D := spec.Agents, len(spec.Dims)
+	ws := a.train
+	out := a.online.Forward(ws.states, true)
 	var loss float64
-	tdErr := ws.tdErr
-	for b := range tdErr {
-		tdErr[b] = 0
+	for b := range ws.tdErr {
+		ws.tdErr[b] = 0
 	}
 	denom := float64(n * K * D)
 	for k := 0; k < K; k++ {
 		for d := 0; d < D; d++ {
-			g := gradQ[k][d]
+			g := ws.gradQ[k][d]
 			g.Zero()
 			for b := 0; b < n; b++ {
-				act := batch.Transitions[b].Actions[k*D+d]
-				target := y[k][b]
-				if a.cfg.TargetMode == TargetPerBranch && !batch.Transitions[b].Done {
-					target = batch.Transitions[b].Rewards[k] +
-						a.cfg.Gamma*targetNext.Q[k][d].At(b, argmax[k][d][b])
+				act := ws.batch.Transitions[b].Actions[k*D+d]
+				target := ws.y[k][b]
+				if a.cfg.TargetMode == TargetPerBranch && !ws.batch.Transitions[b].Done {
+					target = ws.batch.Transitions[b].Rewards[k] +
+						a.cfg.Gamma*targetNext.Q[k][d].At(b, ws.argmax[k][d][b])
 				}
 				diff := out.Q[k][d].At(b, act) - target
-				w := batch.Weights[b]
+				w := ws.batch.Weights[b]
 				loss += 0.5 * w * diff * diff
 				g.Set(b, act, w*diff/denom)
 				if diff < 0 {
-					tdErr[b] -= diff / float64(K*D)
+					ws.tdErr[b] -= diff / float64(K*D)
 				} else {
-					tdErr[b] += diff / float64(K*D)
+					ws.tdErr[b] += diff / float64(K*D)
 				}
 			}
 		}
 	}
-	a.online.Backward(gradQ)
+	a.online.Backward(ws.gradQ)
+	return loss / denom
+}
+
+// trainCommit applies the optimiser step, updates replay priorities and
+// periodically syncs the target network.
+func (a *Agent) trainCommit() {
+	ws := a.train
 	a.opt.StepAndZeroGrad(a.online.Params())
-	a.buffer.UpdatePriorities(batch.Indices, tdErr)
+	a.online.noteWeightsChanged()
+	a.buffer.UpdatePriorities(ws.batch.Indices, ws.tdErr)
 
 	a.trainSteps++
 	if a.trainSteps%a.cfg.TargetSync == 0 {
 		a.target.CopyValuesFrom(a.online)
 	}
-	return loss / denom
 }
 
 // Transfer applies transfer learning (Sec. IV): the output layers of both
@@ -389,6 +437,7 @@ func (a *Agent) Load(r io.Reader) error {
 	if err := nn.Load(r, a.online.Params()); err != nil {
 		return err
 	}
+	a.online.noteWeightsChanged()
 	a.target.CopyValuesFrom(a.online)
 	return nil
 }

@@ -86,6 +86,13 @@ type Network struct {
 	bwd map[int]*bwdWS
 
 	params []*nn.Param // cached Params() result; layer set is immutable
+	denses []*nn.Dense // cached dense-layer enumeration for the pool
+
+	// weightEpoch counts parameter mutations (optimiser steps, target
+	// syncs, loads, transfers). The pool's persistent packed panels are
+	// keyed by it, so a stale pack can never be used after the weights
+	// change through *any* path.
+	weightEpoch int
 
 	// noRescale disables the 1/K and 1/D gradient rescaling so tests
 	// can compare Backward against exact finite differences.
@@ -356,6 +363,53 @@ func (n *Network) Params() []*nn.Param {
 	return ps
 }
 
+// noteWeightsChanged invalidates any packed-panel caches keyed on this
+// network's weights. Every code path that mutates parameter values must
+// call it (CopyValuesFrom and ReinitOutputLayers do so themselves; the
+// agent bumps after optimiser steps and checkpoint/weight loads).
+func (n *Network) noteWeightsChanged() { n.weightEpoch++ }
+
+// Denses enumerates every dense layer in a deterministic order (trunk,
+// value streams, advantage hiddens, advantage heads) — the traversal
+// the pooled forward and its pack caches share. Cached; callers must
+// not mutate the slice.
+func (n *Network) Denses() []*nn.Dense {
+	if n.denses != nil {
+		return n.denses
+	}
+	var ds []*nn.Dense
+	for _, l := range n.shared.Layers {
+		if d, ok := l.(*nn.Dense); ok {
+			ds = append(ds, d)
+		}
+	}
+	for _, v := range n.values {
+		for _, l := range v.Layers {
+			if d, ok := l.(*nn.Dense); ok {
+				ds = append(ds, d)
+			}
+		}
+	}
+	for _, a := range n.advHidden {
+		for _, l := range a.Layers {
+			if d, ok := l.(*nn.Dense); ok {
+				ds = append(ds, d)
+			}
+		}
+	}
+	for _, row := range n.advOut {
+		ds = append(ds, row...)
+	}
+	n.denses = ds
+	return ds
+}
+
+// trunkDenses returns the dense layers of the shared trunk in forward
+// order (dropout layers, identity in eval mode, are skipped).
+func (n *Network) trunkDenses() []*nn.Dense {
+	return n.Denses()[:len(n.spec.SharedHidden)]
+}
+
 // ZeroGrad clears all parameter gradients.
 func (n *Network) ZeroGrad() {
 	for _, p := range n.Params() {
@@ -374,6 +428,7 @@ func (n *Network) CopyValuesFrom(src *Network) {
 	for i := range dst {
 		dst[i].CopyValueFrom(from[i])
 	}
+	n.noteWeightsChanged()
 }
 
 // NumParams returns the number of scalar learnable parameters.
@@ -420,6 +475,7 @@ func (n *Network) ReinitOutputLayers(rng *rand.Rand) {
 		}
 	}
 	nn.ResetMoments(n.OutputParams())
+	n.noteWeightsChanged()
 }
 
 // GreedyActions returns, for each agent and dimension, the argmax action

@@ -1,0 +1,639 @@
+package bdq
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/twig-sched/twig/internal/mat"
+	"github.com/twig-sched/twig/internal/nn"
+	"github.com/twig-sched/twig/internal/replay"
+)
+
+// AgentPool batches the network compute of many agents that share one
+// architecture. Each member keeps its own weights, replay buffer, RNG
+// stream and step counters — decision-making stays per-agent — but the
+// eval-mode forwards (action selection and both TD-target sweeps) run
+// as one block-diagonal grouped GEMM over all queued members, against
+// persistent packed weight panels instead of the streaming batch-1
+// kernels.
+//
+// The pooled path is bit-identical to the per-agent one: the grouped
+// kernels honour mat's ascending-k accumulation contract band by band,
+// per-agent RNG streams are independent so cross-agent phase
+// interleaving reorders no agent's own draws, and the train-mode
+// forward/backward (whose Dropout draws must stay in-stream) remains
+// strictly per-agent. TestPoolBitIdentical* pins this.
+//
+// Parameters live in a pooled nn.Arena: admit maps to slot alloc +
+// adopt, drain maps to detach + release, so fleet membership churn
+// reuses slabs deterministically. All methods are safe for concurrent
+// use; the pool's mutex serialises flushes against attach/close.
+type AgentPool struct {
+	mu      sync.Mutex
+	members []*PooledAgent
+
+	// template, fixed by the first Attach
+	spec  Spec
+	batch int // minibatch rows, uniform across members
+
+	arena *nn.Arena
+	stack map[int]*stackWS // keyed by stacked row count
+
+	selScratch []*PooledAgent // flushSelectLocked's member list, reused
+}
+
+// PooledAgent is an Agent whose batched operations route through an
+// AgentPool. The embedded Agent's checkpoint, transfer and inspection
+// API is unchanged; Observe/SelectActions/SelectGreedy are overridden
+// with pooled equivalents, and the Queue*/Take* pairs expose the
+// two-phase form fleet engines use to batch across members.
+type PooledAgent struct {
+	*Agent
+	pool       *AgentPool
+	slotOnline int
+	slotTarget int
+	onlinePack *netPack
+	targetPack *netPack
+	closed     bool
+
+	// queued work and results, guarded by pool.mu
+	hasObs    bool
+	obs       replay.Transition
+	hasSel    bool
+	selState  []float64
+	selGreedy bool
+	acts      [][]int
+	actsBuf   [2][][]int // double-buffered action storage, flipped per select flush
+	actsFlip  int
+	loss      float64
+}
+
+// netPack caches one network's packed weight panels, keyed by the
+// network's weight epoch so any parameter mutation forces a repack.
+// groups holds, per Denses() position, the ready-made grouped-GEMM
+// operand (panels + bias) so the per-layer stacking loop is a struct
+// copy instead of a map lookup.
+type netPack struct {
+	epoch  int
+	packs  map[*nn.Dense]*mat.PackedB
+	groups []mat.Group
+}
+
+func newNetPack() *netPack {
+	return &netPack{epoch: -1, packs: make(map[*nn.Dense]*mat.PackedB)}
+}
+
+func (np *netPack) refresh(n *Network) {
+	if np.epoch == n.weightEpoch {
+		return
+	}
+	ds := n.Denses()
+	if cap(np.groups) < len(ds) {
+		np.groups = make([]mat.Group, len(ds))
+	}
+	np.groups = np.groups[:len(ds)]
+	for i, d := range ds {
+		pb := np.packs[d]
+		if pb == nil {
+			pb = &mat.PackedB{}
+			np.packs[d] = pb
+		}
+		pb.RepackFrom(d.W.Value)
+		np.groups[i] = mat.Group{Packed: pb, Bias: d.B.Value.Data}
+	}
+	np.epoch = n.weightEpoch
+}
+
+// stackWS holds the grouped-forward intermediates for one stacked row
+// count, mirroring Network.Forward's workspace layout.
+type stackWS struct {
+	x      *mat.Matrix   // stacked input
+	trunk  []*mat.Matrix // per shared layer
+	valHid *mat.Matrix   // value-stream hidden, reused per stream
+	vals   []*mat.Matrix // per value stream: rows×1
+	advHid []*mat.Matrix // per dimension
+	advScr []*mat.Matrix // per dimension: advantage head output scratch
+	out   *Output // stacked Q
+	means []float64
+	pks   []*netPack // per-member pack caches, resolved once per eval
+
+	// Layer-group cache: per dense position, the grouped-GEMM operand
+	// list for the member set the cache was built against. Rebuilt only
+	// when membership, network side (online/target) or any member's
+	// weight epoch changes — a greedy select loop rebuilds never, so the
+	// hot flush writes no pointer-bearing structs (no GC write
+	// barriers).
+	lgGroups [][]mat.Group
+	lgFor    []*PooledAgent
+	lgEpochs []int
+	lgTarget bool
+	lgValid  bool
+}
+
+// NewAgentPool returns an empty pool; the first Attach fixes the
+// architecture template.
+func NewAgentPool() *AgentPool { return &AgentPool{stack: make(map[int]*stackWS)} }
+
+// Attach moves an agent into the pool: both networks' parameters are
+// adopted into the arena (bit-identically — see nn.Arena) and the
+// returned handle routes batched operations through the pool. The
+// agent's spec and minibatch shape must match the pool template.
+func (p *AgentPool) Attach(a *Agent) *PooledAgent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.arena == nil {
+		p.spec = a.cfg.Spec
+		p.batch = a.cfg.BatchSize
+		p.arena = nn.NewArena(nn.ShapesOf(a.online.Params()), 0)
+	}
+	if !specEqual(p.spec, a.cfg.Spec) || p.batch != a.cfg.BatchSize {
+		panic(fmt.Sprintf("bdq: pool template (spec %+v, batch %d) does not match agent (spec %+v, batch %d)",
+			p.spec, p.batch, a.cfg.Spec, a.cfg.BatchSize))
+	}
+	pa := &PooledAgent{
+		Agent:      a,
+		pool:       p,
+		slotOnline: p.arena.Alloc(),
+		slotTarget: p.arena.Alloc(),
+		onlinePack: newNetPack(),
+		targetPack: newNetPack(),
+	}
+	p.arena.Adopt(pa.slotOnline, a.online.Params())
+	p.arena.Adopt(pa.slotTarget, a.target.Params())
+	p.members = append(p.members, pa)
+	return pa
+}
+
+func specEqual(a, b Spec) bool {
+	if a.StateDim != b.StateDim || a.Agents != b.Agents || a.BranchHidden != b.BranchHidden ||
+		a.Dropout != b.Dropout || a.SharedValue != b.SharedValue ||
+		len(a.Dims) != len(b.Dims) || len(a.SharedHidden) != len(b.SharedHidden) {
+		return false
+	}
+	for i := range a.Dims {
+		if a.Dims[i] != b.Dims[i] {
+			return false
+		}
+	}
+	for i := range a.SharedHidden {
+		if a.SharedHidden[i] != b.SharedHidden[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Pool returns the AgentPool this member belongs to.
+func (pa *PooledAgent) Pool() *AgentPool { return pa.pool }
+
+// Members returns the number of live members.
+func (p *AgentPool) Members() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.members)
+}
+
+// Close drains the member out of the pool: its parameters are detached
+// from the arena (deep-copied, so the agent remains fully usable and
+// checkpointable standalone) and the slots are released for reuse.
+// Idempotent.
+func (pa *PooledAgent) Close() {
+	p := pa.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pa.closed {
+		return
+	}
+	pa.closed = true
+	nn.Detach(pa.Agent.online.Params())
+	nn.Detach(pa.Agent.target.Params())
+	p.arena.Release(pa.slotOnline)
+	p.arena.Release(pa.slotTarget)
+	for i, m := range p.members {
+		if m == pa {
+			p.members = append(p.members[:i], p.members[i+1:]...)
+			break
+		}
+	}
+}
+
+// QueueObserve queues a transition for the next FlushStep's batched
+// training phase.
+func (pa *PooledAgent) QueueObserve(t replay.Transition) {
+	p := pa.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pa.ensureOpen()
+	pa.obs = t
+	pa.hasObs = true
+}
+
+// QueueSelect queues an action selection (ε-greedy, or pure greedy)
+// for the next FlushStep's batched selection phase. The state is
+// copied.
+func (pa *PooledAgent) QueueSelect(state []float64, greedy bool) {
+	p := pa.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pa.ensureOpen()
+	if len(state) != p.spec.StateDim {
+		panic(fmt.Sprintf("bdq: state dim %d != %d", len(state), p.spec.StateDim))
+	}
+	if pa.selState == nil {
+		pa.selState = make([]float64, p.spec.StateDim)
+	}
+	copy(pa.selState, state)
+	pa.selGreedy = greedy
+	pa.hasSel = true
+}
+
+func (pa *PooledAgent) ensureOpen() {
+	if pa.closed {
+		panic("bdq: operation on closed pool member")
+	}
+}
+
+// TakeActions returns the actions selected by the last FlushStep. The
+// returned slices are double-buffered member storage: they stay valid
+// through the member's next select flush and are overwritten by the one
+// after that. Callers that hold actions longer must copy them.
+func (pa *PooledAgent) TakeActions() [][]int {
+	p := pa.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	acts := pa.acts
+	pa.acts = nil
+	return acts
+}
+
+// TakeLoss returns the training loss of the last FlushStep (0 when the
+// member did not train).
+func (pa *PooledAgent) TakeLoss() float64 {
+	p := pa.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return pa.loss
+}
+
+// Observe is the pooled single-agent form: queue, flush, take. When
+// other members have queued work it is flushed too (the batched path
+// is order-preserving per member, so this is safe).
+func (pa *PooledAgent) Observe(t replay.Transition) float64 {
+	pa.QueueObserve(t)
+	pa.pool.FlushStep()
+	return pa.TakeLoss()
+}
+
+// SelectActions is the pooled ε-greedy selection for one member.
+func (pa *PooledAgent) SelectActions(state []float64) [][]int {
+	pa.QueueSelect(state, false)
+	pa.pool.FlushStep()
+	return pa.TakeActions()
+}
+
+// SelectGreedy is the pooled pure-exploitation selection for one
+// member (no step advance, no exploration draws).
+func (pa *PooledAgent) SelectGreedy(state []float64) [][]int {
+	pa.QueueSelect(state, true)
+	pa.pool.FlushStep()
+	return pa.TakeActions()
+}
+
+// FlushStep runs all queued work: first the batched training phase
+// (every queued transition is stored; warm members train with batched
+// TD-target forwards and per-member backprop), then the batched
+// selection phase (one grouped forward for all queued selections).
+// Training precedes selection, matching the per-agent Observe-then-
+// Select order of a control interval.
+func (p *AgentPool) FlushStep() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushTrainLocked()
+	p.flushSelectLocked()
+}
+
+func (p *AgentPool) flushTrainLocked() {
+	var warm []*PooledAgent
+	for _, m := range p.members {
+		if !m.hasObs {
+			continue
+		}
+		m.hasObs = false
+		m.loss = 0
+		if m.Agent.observeAdd(m.obs) {
+			warm = append(warm, m)
+		}
+		m.obs = replay.Transition{}
+	}
+	if len(warm) == 0 {
+		return
+	}
+	maxRounds := 0
+	for _, m := range warm {
+		if r := m.Agent.cfg.TrainPerStep; r > maxRounds {
+			maxRounds = r
+		}
+	}
+	n := p.batch
+	for round := 0; round < maxRounds; round++ {
+		var act []*PooledAgent
+		for _, m := range warm {
+			if m.Agent.cfg.TrainPerStep > round {
+				act = append(act, m)
+			}
+		}
+		if len(act) == 0 {
+			break
+		}
+		// Phase 1: per-member minibatch sampling (own RNG streams).
+		for _, m := range act {
+			m.Agent.trainWorkspace()
+			if got := m.Agent.trainSample(); got != n {
+				panic(fmt.Sprintf("bdq: pooled member sampled %d rows, pool batch is %d", got, n))
+			}
+		}
+		// Phase 2+3: batched online forward on s′, per-member argmax.
+		ws := p.stackWorkspace(len(act) * n)
+		for s, m := range act {
+			x := ws.x.RowsView(s*n, (s+1)*n)
+			x.CopyFrom(m.Agent.train.next)
+		}
+		onlineOut := p.stackedEval(act, false, ws, n)
+		for s, m := range act {
+			m.Agent.trainArgmax(bandOutput(onlineOut, s, n), n)
+		}
+		// Phase 4: batched target forward on s′ (same stacked input).
+		targetOut := p.stackedEval(act, true, ws, n)
+		// Phases 5–7: per-member targets, train-mode backprop (Dropout
+		// draws stay in each member's own stream) and commit.
+		for s, m := range act {
+			tv := bandOutput(targetOut, s, n)
+			m.Agent.trainTargets(tv, n)
+			m.loss = m.Agent.trainBackprop(tv, n)
+			m.Agent.trainCommit()
+		}
+	}
+}
+
+func (p *AgentPool) flushSelectLocked() {
+	sel := p.selScratch[:0]
+	for _, m := range p.members {
+		if m.hasSel {
+			sel = append(sel, m)
+		}
+	}
+	p.selScratch = sel
+	if len(sel) == 0 {
+		return
+	}
+	ws := p.stackWorkspace(len(sel))
+	for s, m := range sel {
+		copy(ws.x.Row(s), m.selState)
+	}
+	out := p.stackedEval(sel, false, ws, 1)
+	K, D := p.spec.Agents, len(p.spec.Dims)
+	for s, m := range sel {
+		m.actsFlip ^= 1
+		acts := m.actsBuf[m.actsFlip]
+		if acts == nil {
+			acts = make([][]int, K)
+			for k := range acts {
+				acts[k] = make([]int, D)
+			}
+			m.actsBuf[m.actsFlip] = acts
+		}
+		for k := 0; k < K; k++ {
+			for d := 0; d < D; d++ {
+				acts[k][d] = mat.Argmax(out.Q[k][d].Row(s))
+			}
+		}
+		if !m.selGreedy {
+			acts = m.Agent.applyExploration(acts)
+		}
+		m.acts = acts
+		m.hasSel = false
+	}
+}
+
+// stackWorkspace returns the grouped-forward workspace for the given
+// stacked row count, building it on first use.
+func (p *AgentPool) stackWorkspace(rows int) *stackWS {
+	if ws := p.stack[rows]; ws != nil {
+		return ws
+	}
+	spec := p.spec
+	numValues := spec.Agents
+	if spec.SharedValue {
+		numValues = 1
+	}
+	ws := &stackWS{
+		x:      mat.New(rows, spec.StateDim),
+		valHid: mat.New(rows, spec.BranchHidden),
+		means:  make([]float64, rows),
+		out:    &Output{Q: make([][]*mat.Matrix, spec.Agents)},
+	}
+	for _, h := range spec.SharedHidden {
+		ws.trunk = append(ws.trunk, mat.New(rows, h))
+	}
+	for v := 0; v < numValues; v++ {
+		ws.vals = append(ws.vals, mat.New(rows, 1))
+	}
+	for _, na := range spec.Dims {
+		ws.advHid = append(ws.advHid, mat.New(rows, spec.BranchHidden))
+		ws.advScr = append(ws.advScr, mat.New(rows, na))
+	}
+	for k := range ws.out.Q {
+		ws.out.Q[k] = make([]*mat.Matrix, len(spec.Dims))
+		for d, na := range spec.Dims {
+			ws.out.Q[k][d] = mat.New(rows, na)
+		}
+	}
+	p.stack[rows] = ws
+	return ws
+}
+
+// pack returns the member's pack cache for the online or target
+// network, refreshed to the network's current weight epoch.
+func (pa *PooledAgent) pack(target bool) *netPack {
+	if target {
+		pa.targetPack.refresh(pa.Agent.target)
+		return pa.targetPack
+	}
+	pa.onlinePack.refresh(pa.Agent.online)
+	return pa.onlinePack
+}
+
+func (pa *PooledAgent) net(target bool) *Network {
+	if target {
+		return pa.Agent.target
+	}
+	return pa.Agent.online
+}
+
+// stackedEval runs the eval-mode forward of every member's online (or
+// target) network over the stacked input ws.x, one grouped GEMM per
+// layer position, into the stacked Output. The dueling aggregation is
+// element-for-element the arithmetic of Network.Forward, and each
+// member's band is bit-identical to its own Forward over its rows.
+func (p *AgentPool) stackedEval(members []*PooledAgent, target bool, ws *stackWS, rowsPer int) *Output {
+	spec := p.spec
+	T := len(spec.SharedHidden)
+	K, D := spec.Agents, len(spec.Dims)
+	numValues := K
+	if spec.SharedValue {
+		numValues = 1
+	}
+	if cap(ws.pks) < len(members) {
+		ws.pks = make([]*netPack, len(members))
+	}
+	pks := ws.pks[:len(members)]
+	for s, m := range members {
+		pks[s] = m.pack(target) // refresh once; layers read the group cache
+	}
+	// All members share one architecture, so layer activations (FuseReLU)
+	// are read from the first member's network.
+	ref := members[0].net(target).Denses()
+	ws.refreshLayerGroups(members, pks, target, len(ref))
+	layer := func(dst, src *mat.Matrix, idx int) {
+		var act mat.Activation = mat.ActIdentity
+		if ref[idx].FuseReLU {
+			act = mat.ActReLU
+		}
+		mat.MulGroupedBiasAct(dst, src, rowsPer, ws.lgGroups[idx], act)
+	}
+
+	cur := ws.x
+	for li := 0; li < T; li++ {
+		layer(ws.trunk[li], cur, li)
+		cur = ws.trunk[li]
+	}
+	z := cur
+	for v := 0; v < numValues; v++ {
+		layer(ws.valHid, z, T+2*v)
+		layer(ws.vals[v], ws.valHid, T+2*v+1)
+	}
+	for d := 0; d < D; d++ {
+		layer(ws.advHid[d], z, T+2*numValues+d)
+	}
+	for k := 0; k < K; k++ {
+		v := ws.vals[0]
+		if !spec.SharedValue {
+			v = ws.vals[k]
+		}
+		for d := 0; d < D; d++ {
+			layer(ws.advScr[d], ws.advHid[d], T+2*numValues+D+k*D+d)
+			a := ws.advScr[d]
+			q := ws.out.Q[k][d]
+			a.RowMeansInto(ws.means)
+			for b := 0; b < a.Rows; b++ {
+				vb := v.At(b, 0)
+				arow := a.Row(b)
+				qrow := q.Row(b)
+				for j := range qrow {
+					qrow[j] = vb + arow[j] - ws.means[b]
+				}
+			}
+		}
+	}
+	return ws.out
+}
+
+// refreshLayerGroups revalidates the workspace's per-layer group lists
+// against the current member set and weight epochs, rebuilding them
+// only on a change. Steady-state greedy selection (no weight updates,
+// stable membership) reuses the cache untouched.
+func (ws *stackWS) refreshLayerGroups(members []*PooledAgent, pks []*netPack, target bool, layers int) {
+	valid := ws.lgValid && ws.lgTarget == target && len(ws.lgFor) == len(members)
+	if valid {
+		for s, m := range members {
+			if ws.lgFor[s] != m || ws.lgEpochs[s] != pks[s].epoch {
+				valid = false
+				break
+			}
+		}
+	}
+	if valid {
+		return
+	}
+	if len(ws.lgGroups) != layers {
+		ws.lgGroups = make([][]mat.Group, layers)
+	}
+	for idx := 0; idx < layers; idx++ {
+		g := ws.lgGroups[idx]
+		if cap(g) < len(members) {
+			g = make([]mat.Group, len(members))
+		}
+		g = g[:len(members)]
+		for s := range pks {
+			g[s] = pks[s].groups[idx]
+		}
+		ws.lgGroups[idx] = g
+	}
+	ws.lgFor = append(ws.lgFor[:0], members...)
+	if cap(ws.lgEpochs) < len(members) {
+		ws.lgEpochs = make([]int, len(members))
+	}
+	ws.lgEpochs = ws.lgEpochs[:len(members)]
+	for s := range pks {
+		ws.lgEpochs[s] = pks[s].epoch
+	}
+	ws.lgTarget = target
+	ws.lgValid = true
+}
+
+// bandOutput views member band s (rows [s·n, (s+1)·n)) of a stacked
+// Output.
+func bandOutput(out *Output, s, n int) *Output {
+	Q := make([][]*mat.Matrix, len(out.Q))
+	for k := range out.Q {
+		Q[k] = make([]*mat.Matrix, len(out.Q[k]))
+		for d := range out.Q[k] {
+			Q[k][d] = out.Q[k][d].RowsView(s*n, (s+1)*n)
+		}
+	}
+	return &Output{Q: Q}
+}
+
+// Pools is a registry of agent pools keyed by architecture, so fleet
+// engines whose nodes run differently shaped managers (daemon
+// membership generations, heterogeneous clusters) still share a pool —
+// and its arena and pack caches — between same-shaped agents.
+type Pools struct {
+	mu sync.Mutex
+	m  map[string]*AgentPool
+}
+
+// NewPools returns an empty registry.
+func NewPools() *Pools { return &Pools{m: make(map[string]*AgentPool)} }
+
+// For returns the pool for the agent config's architecture signature,
+// creating it on first use.
+func (ps *Pools) For(cfg AgentConfig) *AgentPool {
+	cfg = cfg.Defaults()
+	key := fmt.Sprintf("%d|%d|%v|%v|%d|%g|%t|b%d",
+		cfg.Spec.StateDim, cfg.Spec.Agents, cfg.Spec.Dims, cfg.Spec.SharedHidden,
+		cfg.Spec.BranchHidden, cfg.Spec.Dropout, cfg.Spec.SharedValue, cfg.BatchSize)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	pool := ps.m[key]
+	if pool == nil {
+		pool = NewAgentPool()
+		ps.m[key] = pool
+	}
+	return pool
+}
+
+// FlushStep flushes every pool in the registry (deterministic order is
+// unnecessary: members are independent and each pool's own flush is
+// order-preserving per member).
+func (ps *Pools) FlushStep() {
+	ps.mu.Lock()
+	pools := make([]*AgentPool, 0, len(ps.m))
+	for _, p := range ps.m {
+		pools = append(pools, p)
+	}
+	ps.mu.Unlock()
+	for _, p := range pools {
+		p.FlushStep()
+	}
+}

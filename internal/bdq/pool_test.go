@@ -1,0 +1,255 @@
+package bdq
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/checkpoint"
+	"github.com/twig-sched/twig/internal/mat"
+	"github.com/twig-sched/twig/internal/replay"
+)
+
+// Golden differential: the pooled path (grouped GEMM over persistent
+// packed panels, batched TD forwards, arena-backed parameters) must be
+// bit-identical to the per-agent path — proven by comparing selected
+// actions, losses and full checkpoint bytes (weights, Adam moments,
+// RNG draw positions, replay state) after lockstep trajectories.
+
+func poolTestCfg(seed int64) AgentConfig {
+	return AgentConfig{
+		Spec: Spec{
+			StateDim:     12,
+			Agents:       2,
+			Dims:         []int{5, 4},
+			SharedHidden: []int{32, 16},
+			BranchHidden: 8,
+			Dropout:      0.5, // exercises train-mode RNG draw ordering
+		},
+		BatchSize:      8,
+		WarmupSteps:    8,
+		TargetSync:     5,
+		UsePER:         true,
+		PERAnnealSteps: 100,
+		Seed:           seed,
+	}
+}
+
+func testState(dim, ai, t int) []float64 {
+	s := make([]float64, dim)
+	for j := range s {
+		s[j] = math.Sin(float64(ai*1009 + t*7 + j*13))
+	}
+	return s
+}
+
+func testRewards(k, ai, t int) []float64 {
+	r := make([]float64, k)
+	for i := range r {
+		r[i] = math.Cos(float64(ai*31+t*3+i)) * 0.5
+	}
+	return r
+}
+
+func flatActs(acts [][]int) []int {
+	var out []int
+	for _, row := range acts {
+		out = append(out, row...)
+	}
+	return out
+}
+
+func encodeAgent(a *Agent) []byte {
+	e := checkpoint.NewEncoder()
+	a.EncodeState(e)
+	return e.Bytes()
+}
+
+// drive steps a solo and a pooled population through the same
+// deterministic environment in lockstep, comparing actions each
+// interval and checkpoint bytes at the end.
+func drive(t *testing.T, agents []*Agent, pooled []*PooledAgent, pool *AgentPool, steps, startT int, greedyEvery int) {
+	t.Helper()
+	S := len(agents)
+	spec := agents[0].cfg.Spec
+	K, D := spec.Agents, len(spec.Dims)
+	prevState := make([][]float64, S)
+	prevActsSolo := make([][]int, S)
+	prevActsPool := make([][]int, S)
+	for tt := startT; tt < startT+steps; tt++ {
+		greedy := greedyEvery > 0 && tt%greedyEvery == 0
+		// Per-agent path: observe then select, agent by agent.
+		soloActs := make([][][]int, S)
+		for i, a := range agents {
+			state := testState(spec.StateDim, i, tt)
+			if prevState[i] != nil {
+				a.Observe(replay.Transition{
+					State:     prevState[i],
+					Actions:   prevActsSolo[i],
+					Rewards:   testRewards(K, i, tt),
+					NextState: state,
+				})
+			}
+			if greedy {
+				soloActs[i] = a.SelectGreedy(state)
+			} else {
+				soloActs[i] = a.SelectActions(state)
+			}
+		}
+		// Pooled path: queue everything, one flush, then collect.
+		for i, pa := range pooled {
+			state := testState(spec.StateDim, i, tt)
+			if prevState[i] != nil {
+				pa.QueueObserve(replay.Transition{
+					State:     prevState[i],
+					Actions:   prevActsPool[i],
+					Rewards:   testRewards(K, i, tt),
+					NextState: state,
+				})
+			}
+			pa.QueueSelect(state, greedy)
+		}
+		pool.FlushStep()
+		for i, pa := range pooled {
+			got := pa.TakeActions()
+			if fmt.Sprint(got) != fmt.Sprint(soloActs[i]) {
+				t.Fatalf("t=%d agent %d: pooled actions %v != solo %v", tt, i, got, soloActs[i])
+			}
+			prevState[i] = testState(spec.StateDim, i, tt)
+			prevActsSolo[i] = flatActs(soloActs[i])
+			prevActsPool[i] = flatActs(got)
+			if len(prevActsSolo[i]) != K*D {
+				t.Fatalf("bad action shape")
+			}
+		}
+	}
+	for i := range agents {
+		if !bytes.Equal(encodeAgent(agents[i]), encodeAgent(pooled[i].Agent)) {
+			t.Fatalf("agent %d: pooled checkpoint bytes diverged from solo", i)
+		}
+	}
+}
+
+func TestPoolBitIdenticalSelectAndTrain(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		t.Run(fmt.Sprintf("par%d", par), func(t *testing.T) {
+			saved := mat.Parallelism()
+			defer mat.SetParallelism(saved)
+			mat.SetParallelism(par)
+
+			const S = 3
+			var agents []*Agent
+			var pooled []*PooledAgent
+			pool := NewAgentPool()
+			for i := 0; i < S; i++ {
+				agents = append(agents, NewAgent(poolTestCfg(int64(100+i))))
+				pooled = append(pooled, pool.Attach(NewAgent(poolTestCfg(int64(100+i)))))
+			}
+			drive(t, agents, pooled, pool, 40, 0, 7) // mixes ε-greedy and pure-greedy intervals
+		})
+	}
+}
+
+// TestPoolSingleMemberBitIdentical pins the degenerate pool (S=1, the
+// daemon shape): still packed-kernel batched, still bit-identical.
+func TestPoolSingleMemberBitIdentical(t *testing.T) {
+	pool := NewAgentPool()
+	pa := pool.Attach(NewAgent(poolTestCfg(42)))
+	solo := NewAgent(poolTestCfg(42))
+	drive(t, []*Agent{solo}, []*PooledAgent{pa}, pool, 30, 0, 0)
+}
+
+// TestPoolDrainRestore is the churn round-trip: a pooled fleet is
+// checkpointed, one member is drained, and restoring the survivors into
+// a smaller pooled membership — and into plain solo agents — yields
+// hex-float-identical continuations.
+func TestPoolDrainRestore(t *testing.T) {
+	const S = 3
+	pool := NewAgentPool()
+	var pooled []*PooledAgent
+	for i := 0; i < S; i++ {
+		pooled = append(pooled, pool.Attach(NewAgent(poolTestCfg(int64(200+i)))))
+	}
+	// Train past warmup so Adam moments, PER priorities and RNG
+	// positions are all non-trivial, then checkpoint every member.
+	drive(t, []*Agent{
+		NewAgent(poolTestCfg(200)), NewAgent(poolTestCfg(201)), NewAgent(poolTestCfg(202)),
+	}, pooled, pool, 25, 0, 0)
+	snaps := make([][]byte, S)
+	for i, pa := range pooled {
+		snaps[i] = encodeAgent(pa.Agent)
+	}
+
+	// Drain member 1. Its slots are released; survivors keep training.
+	pooled[1].Close()
+	if pool.Members() != S-1 {
+		t.Fatalf("Members() = %d after drain", pool.Members())
+	}
+
+	// Restore the survivors' checkpoints into (a) a fresh smaller pooled
+	// membership and (b) solo agents, and drive both: trajectories must
+	// match bit-for-bit.
+	pool2 := NewAgentPool()
+	var restoredPool []*PooledAgent
+	var restoredSolo []*Agent
+	for _, i := range []int{0, 2} {
+		pa := pool2.Attach(NewAgent(poolTestCfg(int64(200 + i))))
+		if err := pa.Agent.DecodeState(checkpoint.NewDecoder(snaps[i])); err != nil {
+			t.Fatalf("pooled restore %d: %v", i, err)
+		}
+		restoredPool = append(restoredPool, pa)
+		sa := NewAgent(poolTestCfg(int64(200 + i)))
+		if err := sa.DecodeState(checkpoint.NewDecoder(snaps[i])); err != nil {
+			t.Fatalf("solo restore %d: %v", i, err)
+		}
+		restoredSolo = append(restoredSolo, sa)
+	}
+	drive(t, restoredSolo, restoredPool, pool2, 20, 25, 5)
+
+	// The drained member detached with full state: it must continue
+	// exactly like a solo agent restored from its snapshot.
+	ref := NewAgent(poolTestCfg(201))
+	if err := ref.DecodeState(checkpoint.NewDecoder(snaps[1])); err != nil {
+		t.Fatalf("drained ref restore: %v", err)
+	}
+	drained := pooled[1].Agent
+	if err := drained.DecodeState(checkpoint.NewDecoder(snaps[1])); err != nil {
+		t.Fatalf("drained restore: %v", err)
+	}
+	for tt := 25; tt < 40; tt++ {
+		st := testState(12, 1, tt)
+		if fmt.Sprint(drained.SelectActions(st)) != fmt.Sprint(ref.SelectActions(st)) {
+			t.Fatalf("t=%d: drained member diverged from solo reference", tt)
+		}
+	}
+	if !bytes.Equal(encodeAgent(drained), encodeAgent(ref)) {
+		t.Fatal("drained member checkpoint diverged from solo reference")
+	}
+}
+
+// TestPoolSlotReuse pins deterministic arena slot reuse across churn:
+// drain + admit lands in the released slots and trains correctly.
+func TestPoolSlotReuse(t *testing.T) {
+	pool := NewAgentPool()
+	a0 := pool.Attach(NewAgent(poolTestCfg(1)))
+	a1 := pool.Attach(NewAgent(poolTestCfg(2)))
+	if a0.slotOnline != 0 || a1.slotOnline != 2 {
+		t.Fatalf("unexpected initial slots %d, %d", a0.slotOnline, a1.slotOnline)
+	}
+	a0.Close()
+	a0.Close() // idempotent
+	a2 := pool.Attach(NewAgent(poolTestCfg(3)))
+	if a2.slotOnline != 0 || a2.slotTarget != 1 {
+		t.Fatalf("admit after drain got slots %d/%d, want 0/1", a2.slotOnline, a2.slotTarget)
+	}
+	solo := NewAgent(poolTestCfg(3))
+	drive(t, []*Agent{solo}, []*PooledAgent{a2}, pool, 15, 0, 0)
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("use after close did not panic")
+		}
+	}()
+	a0.QueueSelect(testState(12, 0, 0), true)
+}

@@ -92,6 +92,14 @@ type Config struct {
 	PinReplicas bool
 	// Factory builds each node's controller stack (required).
 	Factory ControllerFactory
+	// Flush, when set, switches stepWorlds to fleet-batched decisions:
+	// every node controller implementing ctrl.PhasedController gets
+	// PrepareDecide, then Flush runs once (e.g. one batched grouped-GEMM
+	// sweep over every node's pooled agent), then FinishDecide collects
+	// the assignments. Per-node trajectories are bit-identical to the
+	// unbatched path; only the execution shape changes. Controllers that
+	// are not phased keep the plain Decide path.
+	Flush func()
 	// Store enables periodic crash-consistent fleet checkpoints (nil
 	// disables); CheckpointEvery is the cadence in intervals (values
 	// < 1 become 60).
@@ -627,6 +635,31 @@ func (c *Coordinator) pickNode(t int, r *Replica) int {
 func (c *Coordinator) stepWorlds(t int) float64 {
 	var energy float64
 	ticked := make(map[int]bool, len(c.replicas))
+
+	// Fleet-batched phase: enqueue every phased controller's learning
+	// and selection work, then run one shared flush for the whole fleet.
+	var phased map[*node]ctrl.PhasedController
+	var phaseFailed map[*node]bool
+	if c.cfg.Flush != nil {
+		phased = make(map[*node]ctrl.PhasedController)
+		phaseFailed = make(map[*node]bool)
+		for _, n := range c.nodes {
+			if !n.alive || n.fenced || n.srv == nil {
+				continue
+			}
+			pc, ok := n.controller.(ctrl.PhasedController)
+			if !ok {
+				continue
+			}
+			if safePrepare(pc, n.obs) {
+				phased[n] = pc
+			} else {
+				phaseFailed[n] = true
+			}
+		}
+		c.cfg.Flush()
+	}
+
 	for _, n := range c.nodes {
 		if !n.alive || n.fenced || n.srv == nil {
 			continue
@@ -638,7 +671,16 @@ func (c *Coordinator) stepWorlds(t int) float64 {
 				loads[i] = r.Spec.LoadFrac * service.MustLookup(r.Spec.Service).MaxLoadRPS
 			}
 		}
-		asg, panicked := safeDecide(n.controller, n.obs)
+		var asg sim.Assignment
+		var panicked bool
+		switch {
+		case phased[n] != nil:
+			asg, panicked = safeFinish(phased[n])
+		case phaseFailed[n]:
+			panicked = true
+		default:
+			asg, panicked = safeDecide(n.controller, n.obs)
+		}
 		if panicked {
 			c.ctr.DecidePanics++
 			asg = n.lastValid

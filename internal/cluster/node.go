@@ -103,6 +103,7 @@ func (c *Coordinator) buildWorld(n *node, ids []int) {
 // fixed by the service count), seeded deterministically by the
 // generation; the simulator state is untouched.
 func (c *Coordinator) buildController(n *node) {
+	closeController(n.controller)
 	n.gen++
 	specs := make([]ReplicaSpec, len(n.replicas))
 	for i, id := range n.replicas {
@@ -118,6 +119,7 @@ func (c *Coordinator) buildController(n *node) {
 // The hosted replica IDs are left on the node: the coordinator only
 // reassigns them once the lease expires.
 func (n *node) dropWorld() {
+	closeController(n.controller)
 	n.srv = nil
 	n.controller = nil
 	n.comps = nil
@@ -231,6 +233,37 @@ func safeDecide(ctl ctrl.Controller, obs ctrl.Observation) (asg sim.Assignment, 
 		}
 	}()
 	return ctl.Decide(obs), false
+}
+
+// safePrepare runs PrepareDecide with the same panic conversion as
+// safeDecide; a false return routes the node to its fallback mapping.
+func safePrepare(pc ctrl.PhasedController, obs ctrl.Observation) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	pc.PrepareDecide(obs)
+	return true
+}
+
+// safeFinish collects a phased controller's assignment after the fleet
+// flush, converting a panic into the fallback path.
+func safeFinish(pc ctrl.PhasedController) (asg sim.Assignment, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	return pc.FinishDecide(), false
+}
+
+// closeController releases shared resources (pooled arena slots) held
+// by a controller stack being discarded.
+func closeController(ctl ctrl.Controller) {
+	if cl, ok := ctl.(ctrl.Closer); ok {
+		cl.Close()
+	}
 }
 
 // safeAssignment is the conservative fallback mapping: every service on

@@ -77,10 +77,23 @@ type Manager struct {
 	agent   *bdq.Agent
 	mapper  *Mapper
 
+	// pag is non-nil when the manager's agent lives in a shared
+	// AgentPool: learning and action selection then run through the
+	// pool's batched grouped-GEMM sweep. Checkpointing still goes
+	// through agent, which the pool shares.
+	pag *bdq.PooledAgent
+
 	prevState   []float64
 	prevActions [][]int
 	prevReqs    []Request
 	lastAsg     sim.Assignment
+
+	// pendState carries the observed state between PrepareDecide and
+	// FinishDecide; pendTrained records whether a transition was queued
+	// this interval (so lastLoss mirrors the per-agent path exactly).
+	pendState   []float64
+	pendTrained bool
+	pending     bool
 
 	steps      int
 	migrations int
@@ -129,6 +142,33 @@ func NewManager(cfg Config, managedCores []int) *Manager {
 	}
 }
 
+// NewManagerPooled builds a manager whose agent joins the shared pool
+// for its architecture: parameters move into the pool's arena and all
+// inference/training runs through the fleet's batched GEMM sweeps.
+// Behaviour is bit-identical to NewManager; only the execution shape
+// changes. The caller must Close the manager when discarding it so the
+// arena slots are released.
+func NewManagerPooled(cfg Config, managedCores []int, pools *bdq.Pools) *Manager {
+	m := NewManager(cfg, managedCores)
+	if pools != nil {
+		m.pag = pools.For(m.cfg.Agent).Attach(m.agent)
+	}
+	return m
+}
+
+// Close releases the manager's pooled arena slots (no-op for unpooled
+// managers). The agent keeps a private copy of its state and remains
+// checkpointable. Implements ctrl.Closer.
+func (m *Manager) Close() {
+	if m.pag != nil {
+		m.pag.Close()
+		m.pag = nil
+	}
+}
+
+// Pooled reports whether the manager runs through a shared AgentPool.
+func (m *Manager) Pooled() bool { return m.pag != nil }
+
 // Name implements ctrl.Controller.
 func (m *Manager) Name() string {
 	if len(m.cfg.Services) == 1 {
@@ -156,11 +196,30 @@ func (m *Manager) pureExploit() bool {
 // Decide implements Algorithm 1 for one monitoring interval: observe the
 // state s (smoothed PMCs), reward the previous action from the observed
 // QoS and estimated per-service power, train, and emit the mapping for
-// the next interval.
+// the next interval. Pooled managers route the learning and selection
+// work through their AgentPool (one flush for this manager alone);
+// fleet coordinators instead call PrepareDecide / FinishDecide around a
+// single shared flush.
 func (m *Manager) Decide(obs ctrl.Observation) sim.Assignment {
+	m.PrepareDecide(obs)
+	if m.pag != nil {
+		m.pag.Pool().FlushStep()
+	}
+	return m.FinishDecide()
+}
+
+// PrepareDecide is the first half of Decide: observe the state, reward
+// and enqueue the previous interval's transition, and enqueue this
+// interval's action selection. For unpooled managers the learning step
+// runs inline; the selection is deferred to FinishDecide either way.
+// Implements ctrl.PhasedController.
+func (m *Manager) PrepareDecide(obs ctrl.Observation) {
 	if len(obs.Services) != len(m.cfg.Services) {
 		panic(fmt.Sprintf("core: observation has %d services, manager %d",
 			len(obs.Services), len(m.cfg.Services)))
+	}
+	if m.pending {
+		panic("core: PrepareDecide called twice without FinishDecide")
 	}
 	samples := make([]pmc.Sample, len(obs.Services))
 	for k, s := range obs.Services {
@@ -168,6 +227,7 @@ func (m *Manager) Decide(obs ctrl.Observation) sim.Assignment {
 	}
 	state := m.monitor.Observe(samples)
 
+	m.pendTrained = false
 	if m.prevState != nil && !m.pureExploit() {
 		rewards := make([]float64, len(obs.Services))
 		for k, s := range obs.Services {
@@ -177,18 +237,47 @@ func (m *Manager) Decide(obs ctrl.Observation) sim.Assignment {
 		for _, a := range m.prevActions {
 			flat = append(flat, a...)
 		}
-		m.lastLoss = m.agent.Observe(replay.Transition{
+		t := replay.Transition{
 			State:     m.prevState,
 			Actions:   flat,
 			Rewards:   rewards,
 			NextState: state,
-		})
+		}
+		if m.pag != nil {
+			m.pag.QueueObserve(t)
+			m.pendTrained = true
+		} else {
+			m.lastLoss = m.agent.Observe(t)
+		}
 	}
+	if m.pag != nil {
+		m.pag.QueueSelect(state, m.pureExploit())
+	}
+	m.pendState = state
+	m.pending = true
+}
+
+// FinishDecide is the second half of Decide: collect the selected
+// actions (from the pool flush, or inline for unpooled managers) and
+// emit the next interval's assignment. Implements ctrl.PhasedController.
+func (m *Manager) FinishDecide() sim.Assignment {
+	if !m.pending {
+		panic("core: FinishDecide without PrepareDecide")
+	}
+	m.pending = false
+	state := m.pendState
+	m.pendState = nil
 
 	var actions [][]int
-	if m.pureExploit() {
+	switch {
+	case m.pag != nil:
+		actions = m.pag.TakeActions()
+		if m.pendTrained {
+			m.lastLoss = m.pag.TakeLoss()
+		}
+	case m.pureExploit():
 		actions = m.agent.SelectGreedy(state)
-	} else {
+	default:
 		actions = m.agent.SelectActions(state)
 	}
 	reqs := make([]Request, len(actions))

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/bdq"
+	"github.com/twig-sched/twig/internal/checkpoint"
+	"github.com/twig-sched/twig/internal/ctrl"
+	"github.com/twig-sched/twig/internal/sim/pmc"
+)
+
+// Differential tests for the pooled manager path: a Manager attached to
+// a shared AgentPool must make bit-identical decisions — assignments,
+// losses and full agent checkpoint bytes — to an unpooled Manager fed
+// the same observations, both standalone (Decide drives its own flush)
+// and under a fleet coordinator that batches many managers through one
+// PrepareDecide / FlushStep / FinishDecide round.
+
+func pooledTestConfig(seed int64, k int) Config {
+	services := make([]ServiceConfig, k)
+	for i := range services {
+		services[i] = ServiceConfig{Name: fmt.Sprintf("svc%d", i), QoSTargetMs: 5, MaxLoadRPS: 1000}
+	}
+	return Config{
+		Services:  services,
+		MaxPowerW: 100,
+		Agent: bdq.AgentConfig{
+			Spec:      bdq.Spec{SharedHidden: []int{16, 12}, BranchHidden: 8},
+			BatchSize: 8,
+			Epsilon:   bdq.EpsilonSchedule{Start: 1, Mid: 0.1, End: 0.05, MidStep: 20, EndStep: 60},
+			Seed:      seed,
+		},
+	}
+}
+
+// pooledObs varies PMCs and latency deterministically per manager and
+// interval so trajectories are non-trivial.
+func pooledObs(k, mi, t int) ctrl.Observation {
+	obs := ctrl.Observation{Time: t, PowerW: 40 + 10*math.Sin(float64(mi+t))}
+	for i := 0; i < k; i++ {
+		var s pmc.Sample
+		for j := range s {
+			s[j] = 0.5 + 0.4*math.Sin(float64(mi*101+t*7+i*13+j))
+		}
+		obs.Services = append(obs.Services, ctrl.ServiceObs{
+			P99Ms:       4 + 3*math.Sin(float64(mi*11+t*3+i)),
+			QoSTargetMs: 5, MeasuredRPS: 500 + 100*math.Cos(float64(t+i)), MaxLoadRPS: 1000,
+			NormPMCs: s,
+		})
+	}
+	return obs
+}
+
+func managerAgentBytes(m *Manager) []byte {
+	e := checkpoint.NewEncoder()
+	m.agent.EncodeState(e)
+	return e.Bytes()
+}
+
+func TestPooledManagerDecideBitIdentical(t *testing.T) {
+	pools := bdq.NewPools()
+	solo := NewManager(pooledTestConfig(7, 2), coresRange(18))
+	pooled := NewManagerPooled(pooledTestConfig(7, 2), coresRange(18), pools)
+	if !pooled.Pooled() || solo.Pooled() {
+		t.Fatal("pooled flag wrong")
+	}
+	for tt := 0; tt < 40; tt++ {
+		obs := pooledObs(2, 0, tt)
+		a, b := solo.Decide(obs), pooled.Decide(obs)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("t=%d: pooled assignment diverged\nsolo:   %v\npooled: %v", tt, a, b)
+		}
+		if solo.LastLoss() != pooled.LastLoss() {
+			t.Fatalf("t=%d: loss %v != %v", tt, solo.LastLoss(), pooled.LastLoss())
+		}
+	}
+	if !bytes.Equal(managerAgentBytes(solo), managerAgentBytes(pooled)) {
+		t.Fatal("pooled agent checkpoint bytes diverged from solo")
+	}
+	pooled.Close()
+	pooled.Close() // idempotent
+}
+
+// TestPooledFleetPhasedBitIdentical drives three managers the way a
+// fleet coordinator does — PrepareDecide on all, one shared flush,
+// FinishDecide on all — and checks every node against its solo twin.
+func TestPooledFleetPhasedBitIdentical(t *testing.T) {
+	const S = 3
+	pools := bdq.NewPools()
+	var solos, pooled []*Manager
+	for i := 0; i < S; i++ {
+		solos = append(solos, NewManager(pooledTestConfig(int64(30+i), 2), coresRange(18)))
+		pooled = append(pooled, NewManagerPooled(pooledTestConfig(int64(30+i), 2), coresRange(18), pools))
+	}
+	for tt := 0; tt < 35; tt++ {
+		want := make([]string, S)
+		for i, m := range solos {
+			want[i] = fmt.Sprint(m.Decide(pooledObs(2, i, tt)))
+		}
+		for i, m := range pooled {
+			var pc ctrl.PhasedController = m
+			pc.PrepareDecide(pooledObs(2, i, tt))
+		}
+		pools.FlushStep()
+		for i, m := range pooled {
+			if got := fmt.Sprint(m.FinishDecide()); got != want[i] {
+				t.Fatalf("t=%d node %d: phased pooled assignment diverged", tt, i)
+			}
+		}
+	}
+	for i := range solos {
+		if !bytes.Equal(managerAgentBytes(solos[i]), managerAgentBytes(pooled[i])) {
+			t.Fatalf("node %d: pooled agent checkpoint diverged", i)
+		}
+	}
+	// Drain one node mid-fleet; survivors keep matching their twins.
+	pooled[1].Close()
+	for tt := 35; tt < 45; tt++ {
+		for _, i := range []int{0, 2} {
+			want := fmt.Sprint(solos[i].Decide(pooledObs(2, i, tt)))
+			pooled[i].PrepareDecide(pooledObs(2, i, tt))
+			pools.FlushStep()
+			if got := fmt.Sprint(pooled[i].FinishDecide()); got != want {
+				t.Fatalf("t=%d node %d after drain: diverged", tt, i)
+			}
+		}
+	}
+}
+
+func TestManagerPhaseMisuse(t *testing.T) {
+	m := smallManager(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("FinishDecide without PrepareDecide did not panic")
+			}
+		}()
+		m.FinishDecide()
+	}()
+	m.PrepareDecide(obsFor(1, 3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double PrepareDecide did not panic")
+		}
+	}()
+	m.PrepareDecide(obsFor(1, 3))
+}

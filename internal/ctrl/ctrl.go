@@ -47,6 +47,28 @@ type Controller interface {
 	Decide(obs Observation) sim.Assignment
 }
 
+// PhasedController is an optional Controller extension for fleet-level
+// batching: a coordinator that drives several controllers per tick may
+// split each Decide into PrepareDecide (observe + enqueue learning and
+// action-selection work) and FinishDecide (collect the selected actions
+// and emit the assignment), with one shared flush — e.g. a batched
+// grouped-GEMM sweep over every controller's network — in between.
+// PrepareDecide/FinishDecide must compose to exactly Decide: calling
+// them around a flush yields the bit-identical assignment and learning
+// trajectory.
+type PhasedController interface {
+	Controller
+	PrepareDecide(obs Observation)
+	FinishDecide() sim.Assignment
+}
+
+// Closer is an optional Controller extension for controllers holding
+// shared resources (e.g. pooled parameter-arena slots). Coordinators
+// call Close when a controller is discarded — rebuild, drain, eviction.
+type Closer interface {
+	Close()
+}
+
 // QoSMet reports whether a latency sample met its target.
 func (s ServiceObs) QoSMet() bool { return s.P99Ms <= s.QoSTargetMs }
 

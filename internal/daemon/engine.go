@@ -161,6 +161,7 @@ type Engine struct {
 	admitted int // monotonic admission counter, seeds new services
 
 	srv        *sim.Server
+	pools      *bdq.Pools // shared batched-GEMM agent pools, survive rebuilds
 	mgr        *core.Manager
 	guard      *ctrl.Guard
 	drainer    *ctrl.Drainer
@@ -365,7 +366,19 @@ func (e *Engine) buildController() {
 			Seed:           e.cfg.Seed + int64(e.gen)*7919,
 		},
 	}
-	e.mgr = core.NewManager(cfg, e.srv.ManagedCores())
+	// The manager's agent lives in a pooled parameter arena shared
+	// across controller generations: a rebuild drains the old manager
+	// (releasing its arena slots for the next generation, which reuses
+	// the same storage) and attaches the fresh learner. The pooled path
+	// is bit-identical to the per-agent one, so resume and determinism
+	// guarantees are unchanged.
+	if e.pools == nil {
+		e.pools = bdq.NewPools()
+	}
+	if e.mgr != nil {
+		e.mgr.Close()
+	}
+	e.mgr = core.NewManagerPooled(cfg, e.srv.ManagedCores(), e.pools)
 	var inner ctrl.Controller = e.mgr
 	if e.cfg.Guard {
 		e.guard = ctrl.NewGuard(e.mgr, ctrl.DefaultGuardConfig(e.srv.ManagedCores()))

@@ -22,39 +22,60 @@ import (
 // checkpoints.
 func FleetFactory(sc Scale) cluster.ControllerFactory {
 	return func(srv *sim.Server, specs []cluster.ReplicaSpec, seed int64) (ctrl.Controller, []checkpoint.Checkpointable) {
-		services := make([]core.ServiceConfig, len(specs))
-		for i, sp := range specs {
-			services[i] = core.ServiceConfig{
-				Name:        sp.Service,
-				QoSTargetMs: sp.QoSTargetMs,
-				MaxLoadRPS:  service.MustLookup(sp.Service).MaxLoadRPS,
-				Power:       PowerModelFor(sp.Service),
-			}
-		}
-		cfg := core.Config{
-			Services:  services,
-			NumCores:  len(srv.ManagedCores()),
-			MaxPowerW: srv.MaxPowerW(),
-			Eta:       5,
-			Reward:    core.DefaultRewardConfig(),
-			Agent: bdq.AgentConfig{
-				Spec: bdq.Spec{
-					SharedHidden: sc.SharedHidden,
-					BranchHidden: sc.BranchHidden,
-					Dropout:      sc.Dropout,
-				},
-				Gamma:          sc.Gamma,
-				TrainPerStep:   sc.TrainPerStep,
-				BatchSize:      sc.BatchSize,
-				TargetSync:     sc.TargetSync,
-				PERAnnealSteps: sc.PERAnneal,
-				Epsilon:        sc.Epsilon,
-				UsePER:         true,
-				Seed:           seed,
-			},
-		}
-		mgr := core.NewManager(cfg, srv.ManagedCores())
+		mgr := core.NewManager(fleetManagerConfig(sc, srv, specs, seed), srv.ManagedCores())
 		return mgr, []checkpoint.Checkpointable{mgr}
+	}
+}
+
+// PooledFleetFactory is FleetFactory with every node's agent attached
+// to a shared AgentPool: same managers, same trajectories bit-for-bit,
+// but action selection and TD-target inference across the whole fleet
+// run as batched grouped-GEMM sweeps. The returned flush runs one fleet
+// sweep; pass it as cluster.Config.Flush so the coordinator drives the
+// PrepareDecide / flush / FinishDecide phases. Node rebuilds, drains
+// and failovers release arena slots through ctrl.Closer.
+func PooledFleetFactory(sc Scale) (cluster.ControllerFactory, func()) {
+	pools := bdq.NewPools()
+	factory := func(srv *sim.Server, specs []cluster.ReplicaSpec, seed int64) (ctrl.Controller, []checkpoint.Checkpointable) {
+		mgr := core.NewManagerPooled(fleetManagerConfig(sc, srv, specs, seed), srv.ManagedCores(), pools)
+		return mgr, []checkpoint.Checkpointable{mgr}
+	}
+	return factory, pools.FlushStep
+}
+
+// fleetManagerConfig sizes one node's Twig manager to its current
+// replica membership at the given learning scale.
+func fleetManagerConfig(sc Scale, srv *sim.Server, specs []cluster.ReplicaSpec, seed int64) core.Config {
+	services := make([]core.ServiceConfig, len(specs))
+	for i, sp := range specs {
+		services[i] = core.ServiceConfig{
+			Name:        sp.Service,
+			QoSTargetMs: sp.QoSTargetMs,
+			MaxLoadRPS:  service.MustLookup(sp.Service).MaxLoadRPS,
+			Power:       PowerModelFor(sp.Service),
+		}
+	}
+	return core.Config{
+		Services:  services,
+		NumCores:  len(srv.ManagedCores()),
+		MaxPowerW: srv.MaxPowerW(),
+		Eta:       5,
+		Reward:    core.DefaultRewardConfig(),
+		Agent: bdq.AgentConfig{
+			Spec: bdq.Spec{
+				SharedHidden: sc.SharedHidden,
+				BranchHidden: sc.BranchHidden,
+				Dropout:      sc.Dropout,
+			},
+			Gamma:          sc.Gamma,
+			TrainPerStep:   sc.TrainPerStep,
+			BatchSize:      sc.BatchSize,
+			TargetSync:     sc.TargetSync,
+			PERAnnealSteps: sc.PERAnneal,
+			Epsilon:        sc.Epsilon,
+			UsePER:         true,
+			Seed:           seed,
+		},
 	}
 }
 
@@ -162,6 +183,7 @@ func adaptClusterScenario(cs *faults.ClusterScenario, totalS int) {
 // scenario, with the coordinator's adaptive placement or the pinned
 // static baseline.
 func ChaosCellRun(sc Scale, seed int64, cs faults.ClusterScenario, pin bool, nodes, seconds int) ChaosCell {
+	factory, flush := PooledFleetFactory(sc)
 	c, err := cluster.New(cluster.Config{
 		Nodes:        nodes,
 		NodeCapacity: 2,
@@ -172,7 +194,8 @@ func ChaosCellRun(sc Scale, seed int64, cs faults.ClusterScenario, pin bool, nod
 		// dark-interval accounting instead of waiting out the outage.
 		MaxRetries:  4,
 		PinReplicas: pin,
-		Factory:     FleetFactory(sc),
+		Factory:     factory,
+		Flush:       flush,
 	})
 	if err != nil {
 		panic("experiments: " + err.Error())

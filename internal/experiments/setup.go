@@ -153,6 +153,13 @@ func NewTwig(srv *sim.Server, sc Scale, seed int64, names ...string) *core.Manag
 	return core.NewManager(twigConfig(srv, sc, seed, names...), srv.ManagedCores())
 }
 
+// NewTwigPooled is NewTwig with the manager's agent attached to a
+// shared AgentPool: identical trajectories bit-for-bit, batched
+// grouped-GEMM execution.
+func NewTwigPooled(srv *sim.Server, sc Scale, seed int64, pools *bdq.Pools, names ...string) *core.Manager {
+	return core.NewManagerPooled(twigConfig(srv, sc, seed, names...), srv.ManagedCores(), pools)
+}
+
 // twigConfig assembles the manager configuration NewTwig uses; ablation
 // experiments mutate it before construction.
 func twigConfig(srv *sim.Server, sc Scale, seed int64, names ...string) core.Config {

@@ -29,3 +29,9 @@ func kern1x8s(k int, a0, panel *float64, acc *[nr]float64)
 
 //go:noescape
 func kern1x8n(k int, a0, panel *float64, acc *[nr]float64)
+
+//go:noescape
+func kernRowPanelsS(k, panels int, a0, panel, acc *float64)
+
+//go:noescape
+func kernRowPanelsN(k, panels int, a0, panel, acc *float64)

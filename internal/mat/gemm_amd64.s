@@ -203,6 +203,91 @@ done1s:
 	VZEROUPPER
 	RET
 
+// func kernRowPanelsS(k, panels int, a0, panel, acc *float64)
+//
+// Fused row sweep: `panels` consecutive nr-wide panels of one packed
+// operand against one a-row, accumulators flushed to acc[8p : 8p+8] per
+// panel. Each panel runs exactly the kern1x8s loop (same zero-skip,
+// same VMULPD/VADDPD order), so the result is bitwise kern1x8s called
+// panel by panel — minus the per-panel call overhead, which dominates
+// batch-1 pooled selects at small k.
+TEXT ·kernRowPanelsS(SB), NOSPLIT, $0-40
+	MOVQ k+0(FP), BX
+	MOVQ panels+8(FP), R9
+	MOVQ a0+16(FP), R10
+	MOVQ panel+24(FP), SI
+	MOVQ acc+32(FP), DI
+	TESTQ R9, R9
+	JZ   doneRS
+panelRS:
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	MOVQ R10, R8
+	MOVQ BX, CX
+	TESTQ CX, CX
+	JZ   flushRS
+loopRS:
+	MOVQ (R8), AX
+	ADDQ AX, AX
+	JZ   nextRS
+	VBROADCASTSD (R8), Y2
+	VMULPD (SI), Y2, Y3
+	VADDPD Y3, Y4, Y4
+	VMULPD 32(SI), Y2, Y3
+	VADDPD Y3, Y5, Y5
+nextRS:
+	ADDQ $8, R8
+	ADDQ $64, SI
+	DECQ CX
+	JNZ  loopRS
+flushRS:
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	ADDQ $64, DI
+	DECQ R9
+	JNZ  panelRS
+doneRS:
+	VZEROUPPER
+	RET
+
+// func kernRowPanelsN(k, panels int, a0, panel, acc *float64)
+//
+// The no-skip twin of kernRowPanelsS (kern1x8n per panel).
+TEXT ·kernRowPanelsN(SB), NOSPLIT, $0-40
+	MOVQ k+0(FP), BX
+	MOVQ panels+8(FP), R9
+	MOVQ a0+16(FP), R10
+	MOVQ panel+24(FP), SI
+	MOVQ acc+32(FP), DI
+	TESTQ R9, R9
+	JZ   doneRN
+panelRN:
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	MOVQ R10, R8
+	MOVQ BX, CX
+	TESTQ CX, CX
+	JZ   flushRN
+loopRN:
+	VBROADCASTSD (R8), Y2
+	VMULPD (SI), Y2, Y3
+	VADDPD Y3, Y4, Y4
+	VMULPD 32(SI), Y2, Y3
+	VADDPD Y3, Y5, Y5
+	ADDQ $8, R8
+	ADDQ $64, SI
+	DECQ CX
+	JNZ  loopRN
+flushRN:
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	ADDQ $64, DI
+	DECQ R9
+	JNZ  panelRN
+doneRN:
+	VZEROUPPER
+	RET
+
 // func kern1x8n(k int, a0, panel *float64, acc *[8]float64)
 TEXT ·kern1x8n(SB), NOSPLIT, $0-32
 	MOVQ k+0(FP), CX

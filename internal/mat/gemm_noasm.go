@@ -21,3 +21,11 @@ func kern1x8s(k int, a0, panel *float64, acc *[nr]float64) {
 func kern1x8n(k int, a0, panel *float64, acc *[nr]float64) {
 	panic("mat: asm kernel on non-amd64")
 }
+
+func kernRowPanelsS(k, panels int, a0, panel, acc *float64) {
+	panic("mat: asm kernel on non-amd64")
+}
+
+func kernRowPanelsN(k, panels int, a0, panel, acc *float64) {
+	panic("mat: asm kernel on non-amd64")
+}

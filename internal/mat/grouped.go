@@ -1,0 +1,279 @@
+package mat
+
+import "fmt"
+
+// Pooled multi-agent dispatch: persistent packed B panels and a
+// block-diagonal ("grouped") GEMM. S agents sharing one architecture
+// stack their activations row-wise into a single matrix; each band of
+// rows multiplies its own agent's weight matrix. Every destination
+// element still accumulates its k terms in ascending order with
+// individual roundings on the shared microkernels, so a grouped product
+// is bit-identical to the per-agent Mul/MulBiasAct calls it replaces —
+// including batch-1 bands, which the per-agent path runs on the
+// streaming kernel and the grouped path on the packed 1×8 kernel.
+
+// PackedB is a B operand packed once into nr-wide column panels and
+// kept (owned storage, not the scratch pool) so repeated products
+// against the same weights — the pooled action-selection sweep — skip
+// the per-call packing that makes batch-1 GEMMs memory-bound.
+type PackedB struct {
+	K, N int // operand shape: K rows (depth) × N cols
+	Data []float64
+}
+
+// PackB packs b into a persistent panel buffer.
+func PackB(b *Matrix) *PackedB {
+	pb := &PackedB{}
+	pb.RepackFrom(b)
+	return pb
+}
+
+// RepackFrom re-packs b in place, reusing the panel buffer when the
+// shape still fits. Call after the underlying weights change.
+func (pb *PackedB) RepackFrom(b *Matrix) {
+	k, n := b.Rows, b.Cols
+	panels := (n + nr - 1) / nr
+	need := panels * nr * k
+	if cap(pb.Data) < need {
+		pb.Data = make([]float64, need)
+	}
+	pb.Data = pb.Data[:need]
+	pb.K, pb.N = k, n
+	packBInto(pb.Data, b)
+}
+
+// MulPackedBiasAct computes dst = act(a·b + bias) against a pre-packed
+// operand. Unlike MulBiasAct it runs the packed kernels at every row
+// count — a single-row product pays no packing and still gets the
+// register-tiled microkernel. Bitwise it equals MulBiasAct(dst, a, b,
+// bias, act) for the b that was packed.
+func MulPackedBiasAct(dst, a *Matrix, pb *PackedB, bias []float64, act Activation) {
+	if a.Cols != pb.K || dst.Rows != a.Rows || dst.Cols != pb.N {
+		panic(fmt.Sprintf("mat: MulPackedBiasAct dims (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, pb.K, pb.N, dst.Rows, dst.Cols))
+	}
+	if bias != nil && len(bias) != pb.N {
+		panic("mat: MulPackedBiasAct bias length mismatch")
+	}
+	mulPackedInto(dst, a, pb.Data, 0, a.Rows, bias, act)
+}
+
+// mulPackedInto runs rows [r0, r1) of a packed product with the shared
+// parallel gate. The degenerate shapes (k = 0 or n = 0) zero-fill and
+// apply the epilogue exactly like the streaming kernel.
+func mulPackedInto(dst, a *Matrix, bp []float64, r0, r1 int, bias []float64, act Activation) {
+	if a.Cols == 0 || dst.Cols == 0 {
+		for i := r0; i < r1; i++ {
+			row := dst.Row(i)
+			for j := range row {
+				row[j] = 0
+			}
+		}
+		biasActRange(dst, r0, r1, bias, act)
+		return
+	}
+	rows := r1 - r0
+	flops := rows * a.Cols * dst.Cols
+	if useParallel(rows, flops) {
+		parallelRows(rows, func(c0, c1 int) {
+			gemmPackedRange(dst, a, bp, r0+c0, r0+c1, true, false, bias, act)
+		})
+		return
+	}
+	gemmPackedRange(dst, a, bp, r0, r1, true, false, bias, act)
+}
+
+// Group is one band of a grouped product: the operand (packed when the
+// caller caches panels, raw otherwise) and its bias.
+type Group struct {
+	// B is the raw operand, packed into scratch per call when Packed is
+	// nil. Ignored when Packed is set.
+	B *Matrix
+	// Packed is the pre-packed operand (see PackB), used as-is.
+	Packed *PackedB
+	// Bias is broadcast-added in the epilogue (nil for none).
+	Bias []float64
+}
+
+// MulGroupedBiasAct computes the block-diagonal product: a and dst are
+// split into len(groups) bands of rowsPer consecutive rows, and band g
+// is act(a_g·B_g + bias_g). Every operand must share the depth a.Cols
+// and the output width dst.Cols (agents share one architecture). Each
+// band is bit-identical to MulBiasAct over that band alone.
+func MulGroupedBiasAct(dst, a *Matrix, rowsPer int, groups []Group, act Activation) {
+	if rowsPer <= 0 {
+		panic("mat: MulGroupedBiasAct rowsPer must be positive")
+	}
+	if a.Rows != rowsPer*len(groups) || dst.Rows != a.Rows {
+		panic(fmt.Sprintf("mat: MulGroupedBiasAct has %d rows for %d groups of %d",
+			a.Rows, len(groups), rowsPer))
+	}
+	k, n := a.Cols, dst.Cols
+	for g := range groups {
+		gk, gn := groupShape(&groups[g])
+		if gk != k || gn != n {
+			panic(fmt.Sprintf("mat: MulGroupedBiasAct group %d is %dx%d, want %dx%d", g, gk, gn, k, n))
+		}
+		if groups[g].Bias != nil && len(groups[g].Bias) != n {
+			panic("mat: MulGroupedBiasAct bias length mismatch")
+		}
+	}
+	if len(groups) == 0 {
+		return
+	}
+	if rowsPer >= mr {
+		// Wide bands: each band runs the full tiled range (4×8 kernel,
+		// per-band parallel fan-out), packing into scratch when the
+		// caller holds no persistent panels.
+		for g := range groups {
+			r0 := g * rowsPer
+			bp, scratch := groupPanels(&groups[g])
+			mulPackedInto(dst, a, bp, r0, r0+rowsPer, groups[g].Bias, act)
+			if scratch != nil {
+				PutScratch(scratch)
+			}
+		}
+		return
+	}
+	// Narrow bands (pooled batch-1 action selection): fan out across the
+	// whole stacked row set; each row resolves its own group's panels.
+	if rowsPer == 1 && k > 0 && n > 0 && allPacked(groups) {
+		// Every group pre-packed (the pooled steady state): no panel
+		// indirection to build, no scratch bookkeeping — the row loop
+		// reads each group's panels straight out of its PackedB.
+		run := func(r0, r1 int) {
+			rowScr := GetScratch(1, (n+nr-1)/nr*nr)
+			defer PutScratch(rowScr)
+			rowAcc := rowScr.Data
+			for i := r0; i < r1; i++ {
+				gemmPackedRowFused(dst.Row(i), a.Row(i), groups[i].Packed.Data, rowAcc, k, n, true, false, groups[i].Bias, act)
+			}
+		}
+		if useParallel(a.Rows, a.Rows*k*n) {
+			parallelRows(a.Rows, run)
+		} else {
+			run(0, a.Rows)
+		}
+		return
+	}
+	var scratches []*Matrix
+	panels := make([][]float64, len(groups))
+	for g := range groups {
+		bp, scratch := groupPanels(&groups[g])
+		panels[g] = bp
+		if scratch != nil {
+			scratches = append(scratches, scratch)
+		}
+	}
+	if k == 0 || n == 0 {
+		dst.Zero()
+		biasActRange(dst, 0, dst.Rows, nil, ActIdentity)
+		for g := range groups {
+			r0 := g * rowsPer
+			biasActRange(dst, r0, r0+rowsPer, groups[g].Bias, act)
+		}
+	} else {
+		run := func(r0, r1 int) {
+			// Per-goroutine row accumulator for the fused row kernel.
+			rowScr := GetScratch(1, (n+nr-1)/nr*nr)
+			defer PutScratch(rowScr)
+			rowAcc := rowScr.Data
+			if rowsPer == 1 {
+				// Batch-1 select: row i IS group i; skip the divide.
+				for i := r0; i < r1; i++ {
+					gemmPackedRowFused(dst.Row(i), a.Row(i), panels[i], rowAcc, k, n, true, false, groups[i].Bias, act)
+				}
+				return
+			}
+			for i := r0; i < r1; i++ {
+				g := i / rowsPer
+				gemmPackedRowFused(dst.Row(i), a.Row(i), panels[g], rowAcc, k, n, true, false, groups[g].Bias, act)
+			}
+		}
+		if useParallel(a.Rows, a.Rows*k*n) {
+			parallelRows(a.Rows, run)
+		} else {
+			run(0, a.Rows)
+		}
+	}
+	for _, s := range scratches {
+		PutScratch(s)
+	}
+}
+
+// allPacked reports whether every group carries persistent panels.
+func allPacked(groups []Group) bool {
+	for g := range groups {
+		if groups[g].Packed == nil {
+			return false
+		}
+	}
+	return true
+}
+
+func groupShape(g *Group) (k, n int) {
+	if g.Packed != nil {
+		return g.Packed.K, g.Packed.N
+	}
+	return g.B.Rows, g.B.Cols
+}
+
+// groupPanels resolves a group's packed panels, packing into scratch
+// (returned for release) when no persistent pack is attached.
+func groupPanels(g *Group) (bp []float64, scratch *Matrix) {
+	if g.Packed != nil {
+		return g.Packed.Data, nil
+	}
+	scratch = packB(g.B)
+	return scratch.Data, scratch
+}
+
+// DispatchInfo describes the execution path Mul/MulBiasAct selects for
+// a given product shape, so benchmarks and tests can assert which
+// kernel a shape actually exercises instead of inferring it from
+// timings.
+type DispatchInfo struct {
+	// Path is "tiled" (packed-panel microkernels) or "streaming" (the
+	// row-streaming kernel batch-1 shapes stay on).
+	Path string
+	// Kernel is the microkernel implementation the tiled path uses on
+	// this machine: "avx2" or "portable".
+	Kernel string
+	// Parallel reports whether the product fans out across goroutines
+	// at the current SetParallelism setting.
+	Parallel bool
+}
+
+// MulDispatch reports the path an m×k · k×n Mul/MulBiasAct takes. It
+// mirrors the dispatch gate exactly (minPackRows row threshold,
+// ParallelFlopThreshold); a threshold change shows up here and in the
+// committed bench report, not silently.
+func MulDispatch(m, k, n int) DispatchInfo {
+	info := DispatchInfo{Path: "streaming", Kernel: KernelName()}
+	if m >= minPackRows && k > 0 && n > 0 {
+		info.Path = "tiled"
+	}
+	info.Parallel = useParallel(m, m*k*n)
+	return info
+}
+
+// PackedDispatch reports the path a packed product (MulPackedBiasAct,
+// grouped bands) takes: always tiled, at any row count.
+func PackedDispatch(m, k, n int) DispatchInfo {
+	return DispatchInfo{Path: "tiled", Kernel: KernelName(), Parallel: useParallel(m, m*k*n)}
+}
+
+// MinPackRows exposes the streaming→tiled row threshold for tests and
+// reports.
+func MinPackRows() int { return minPackRows }
+
+// KernelName names the microkernel implementation compiled-and-enabled
+// on this machine: "avx2" when the assembly kernels run, "portable"
+// for the pure-Go fallback. Benchmark reports record it so baselines
+// from different machines are comparable.
+func KernelName() string {
+	if haveAVX2 {
+		return "avx2"
+	}
+	return "portable"
+}

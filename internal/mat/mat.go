@@ -56,6 +56,16 @@ func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 // Row returns row i as a slice sharing the matrix's backing storage.
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
+// RowsView returns rows [r0, r1) as a matrix sharing m's backing
+// storage — the band view the pooled multi-agent path uses to address
+// one agent's rows inside a stacked observation matrix.
+func (m *Matrix) RowsView(r0, r1 int) *Matrix {
+	if r0 < 0 || r1 < r0 || r1 > m.Rows {
+		panic(fmt.Sprintf("mat: RowsView [%d,%d) of %d rows", r0, r1, m.Rows))
+	}
+	return &Matrix{Rows: r1 - r0, Cols: m.Cols, Data: m.Data[r0*m.Cols : r1*m.Cols]}
+}
+
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []float64 {
 	out := make([]float64, m.Rows)

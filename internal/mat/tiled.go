@@ -47,7 +47,15 @@ func packB(b *Matrix) *Matrix {
 	k, n := b.Rows, b.Cols
 	panels := (n + nr - 1) / nr
 	pm := GetScratch(1, panels*nr*k)
-	bp := pm.Data
+	packBInto(pm.Data, b)
+	return pm
+}
+
+// packBInto packs b into bp (length ≥ panels·nr·k), the shared core of
+// the scratch packB and the persistent PackedB.
+func packBInto(bp []float64, b *Matrix) {
+	k, n := b.Rows, b.Cols
+	panels := (n + nr - 1) / nr
 	for p := 0; p < panels; p++ {
 		j0 := p * nr
 		w := n - j0
@@ -64,7 +72,6 @@ func packB(b *Matrix) *Matrix {
 			}
 		}
 	}
-	return pm
 }
 
 // packBT packs bᵀ into nr-wide panels for MulTransB: panel p holds
@@ -138,26 +145,150 @@ func gemmPackedRange(dst, a *Matrix, bp []float64, r0, r1 int, skip, accumulate 
 	}
 }
 
-// gemmPackedRow computes one destination row against every packed panel.
+// gemmPackedRowFused computes one destination row against every packed
+// panel with a single fused kernel call (all panels in one asm sweep)
+// and a single epilogue pass over the row. rowAcc is caller scratch of
+// at least ceil(n/nr)*nr elements. Bitwise it equals gemmPackedRow: the
+// fused kernel runs the identical per-panel loop, and the epilogue
+// applies the same per-element arithmetic in the same order. Batch-1
+// pooled selects call this once per row per layer instead of paying
+// per-panel call dispatch at small k.
+func gemmPackedRowFused(drow, arow, bp, rowAcc []float64, k, n int, skip, accumulate bool, bias []float64, act Activation) {
+	panels := (n + nr - 1) / nr
+	if haveAVX2 {
+		if skip {
+			kernRowPanelsS(k, panels, &arow[0], &bp[0], &rowAcc[0])
+		} else {
+			kernRowPanelsN(k, panels, &arow[0], &bp[0], &rowAcc[0])
+		}
+	} else {
+		var tmp [nr]float64
+		for p := 0; p < panels; p++ {
+			kernRowGo(arow[:k], bp[p*nr*k:(p+1)*nr*k], &tmp, skip)
+			copy(rowAcc[p*nr:p*nr+nr], tmp[:])
+		}
+	}
+	d := drow[:n]
+	acc := rowAcc[:n]
+	switch {
+	case accumulate:
+		for j := range d {
+			d[j] += acc[j]
+		}
+	case bias == nil && act == ActIdentity:
+		copy(d, acc)
+	case bias == nil: // ActReLU
+		for j := range d {
+			v := acc[j]
+			if !(v > 0) {
+				v = 0
+			}
+			d[j] = v
+		}
+	case act == ActReLU:
+		b := bias[:n]
+		for j := range d {
+			v := acc[j] + b[j]
+			if !(v > 0) {
+				v = 0
+			}
+			d[j] = v
+		}
+	default: // bias, identity
+		b := bias[:n]
+		for j := range d {
+			d[j] = acc[j] + b[j]
+		}
+	}
+}
+
+// gemmPackedRow computes one destination row against every packed
+// panel. The epilogue is inlined per tile rather than routed through
+// storeTile: batch-1 pooled selects issue millions of 8-wide tiles, and
+// the call overhead alone was ~20% of the sweep.
 func gemmPackedRow(drow, arow, bp []float64, k, n int, skip, accumulate bool, bias []float64, act Activation) {
 	panels := (n + nr - 1) / nr
 	var acc [nr]float64
+	ap := &arow[0]
 	for p := 0; p < panels; p++ {
 		if haveAVX2 {
 			if skip {
-				kern1x8s(k, &arow[0], &bp[p*nr*k], &acc)
+				kern1x8s(k, ap, &bp[p*nr*k], &acc)
 			} else {
-				kern1x8n(k, &arow[0], &bp[p*nr*k], &acc)
+				kern1x8n(k, ap, &bp[p*nr*k], &acc)
 			}
 		} else {
 			kernRowGo(arow[:k], bp[p*nr*k:(p+1)*nr*k], &acc, skip)
 		}
 		j0 := p * nr
 		w := n - j0
-		if w > nr {
-			w = nr
+		if w >= nr {
+			// Full tile: array pointers drop every bounds check and fix
+			// the trip count at nr.
+			d := (*[nr]float64)(drow[j0:])
+			switch {
+			case accumulate:
+				for jj := 0; jj < nr; jj++ {
+					d[jj] += acc[jj]
+				}
+			case bias == nil && act == ActIdentity:
+				*d = acc
+			case bias == nil: // ActReLU
+				for jj := 0; jj < nr; jj++ {
+					v := acc[jj]
+					if !(v > 0) {
+						v = 0
+					}
+					d[jj] = v
+				}
+			case act == ActReLU:
+				b := (*[nr]float64)(bias[j0:])
+				for jj := 0; jj < nr; jj++ {
+					v := acc[jj] + b[jj]
+					if !(v > 0) {
+						v = 0
+					}
+					d[jj] = v
+				}
+			default: // bias, identity
+				b := (*[nr]float64)(bias[j0:])
+				for jj := 0; jj < nr; jj++ {
+					d[jj] = acc[jj] + b[jj]
+				}
+			}
+			continue
 		}
-		storeTile(drow[j0:j0+w], acc[0:], accumulate, bias, act, j0)
+		d := drow[j0 : j0+w]
+		switch {
+		case accumulate:
+			for jj := range d {
+				d[jj] += acc[jj]
+			}
+		case bias == nil && act == ActIdentity:
+			copy(d, acc[:len(d)])
+		case bias == nil: // ActReLU
+			for jj := range d {
+				v := acc[jj]
+				if !(v > 0) {
+					v = 0
+				}
+				d[jj] = v
+			}
+		case act == ActReLU:
+			b := bias[j0 : j0+w]
+			for jj := range d {
+				v := acc[jj] + b[jj]
+				if !(v > 0) {
+					v = 0
+				}
+				d[jj] = v
+			}
+		default: // bias, identity
+			b := bias[j0 : j0+w]
+			for jj := range d {
+				d[jj] = acc[jj] + b[jj]
+			}
+		}
 	}
 }
 

@@ -53,7 +53,7 @@ func (a *Adam) apply(params []*Param, zeroGrad bool) {
 	b1, omb1 := a.Beta1, 1-a.Beta1
 	b2, omb2 := a.Beta2, 1-a.Beta2
 	for _, p := range params {
-		if p.m == nil {
+		if p.m == nil && !p.adoptMoments() {
 			p.m = mat.New(p.Value.Rows, p.Value.Cols)
 			p.v = mat.New(p.Value.Rows, p.Value.Cols)
 		}

@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/twig-sched/twig/internal/mat"
+)
+
+// Arena is a pooled parameter store for agents sharing one
+// architecture: each agent occupies a slot whose value, gradient and
+// Adam-moment tensors live in contiguous per-chunk slabs, so the
+// per-agent optimiser sweep walks linear memory instead of scattered
+// heap allocations, and slot alloc/free maps directly onto fleet
+// membership churn (admit/drain/failover).
+//
+// Adoption rebinds the matrices *inside* existing Param structs to slab
+// views — layers, cached Params() slices and checkpoint encode/decode
+// all read through the same *Param pointers, so no constructor or
+// checkpoint code changes. Bitwise nothing changes either: the data is
+// copied element-for-element, and the Adam moment views only become
+// live exactly when the lazy allocation in Adam.apply would have fired,
+// zeroed exactly as a fresh allocation would be.
+//
+// Chunks are never reallocated once handed out, so views stay valid as
+// the arena grows.
+type Arena struct {
+	shapes  []ParamShape
+	offsets []int // element offset of each param within a slot
+	perSlot int   // floats per slot
+
+	slotsPerChunk int
+	chunks        []*arenaChunk
+	free          []int // released slot ids, popped lowest-first
+	next          int   // lowest never-allocated slot id
+	live          int
+}
+
+// ParamShape is one tensor of the shared architecture.
+type ParamShape struct {
+	Name string
+	Rows int
+	Cols int
+}
+
+// arenaChunk owns the four slabs for slotsPerChunk consecutive slots.
+type arenaChunk struct {
+	value, grad, m, v []float64
+}
+
+// ShapesOf captures the architecture of a parameter list, the template
+// every slot of an arena is laid out from.
+func ShapesOf(params []*Param) []ParamShape {
+	shapes := make([]ParamShape, len(params))
+	for i, p := range params {
+		shapes[i] = ParamShape{Name: p.Name, Rows: p.Value.Rows, Cols: p.Value.Cols}
+	}
+	return shapes
+}
+
+// NewArena builds an empty arena for the given architecture, growing in
+// chunks of slotsPerChunk agents (0 picks a default).
+func NewArena(shapes []ParamShape, slotsPerChunk int) *Arena {
+	if slotsPerChunk <= 0 {
+		slotsPerChunk = 8
+	}
+	a := &Arena{shapes: shapes, slotsPerChunk: slotsPerChunk}
+	a.offsets = make([]int, len(shapes))
+	for i, s := range shapes {
+		if s.Rows < 0 || s.Cols < 0 {
+			panic(fmt.Sprintf("nn: arena shape %q is %dx%d", s.Name, s.Rows, s.Cols))
+		}
+		a.offsets[i] = a.perSlot
+		a.perSlot += s.Rows * s.Cols
+	}
+	return a
+}
+
+// Alloc claims a slot id, lowest available first so a drain + admit at
+// the same membership reuses the same storage deterministically.
+func (a *Arena) Alloc() int {
+	a.live++
+	if len(a.free) > 0 {
+		// Pop the smallest released id (the list is kept sorted).
+		id := a.free[0]
+		a.free = a.free[1:]
+		return id
+	}
+	id := a.next
+	a.next++
+	for id/a.slotsPerChunk >= len(a.chunks) {
+		n := a.slotsPerChunk * a.perSlot
+		a.chunks = append(a.chunks, &arenaChunk{
+			value: make([]float64, n),
+			grad:  make([]float64, n),
+			m:     make([]float64, n),
+			v:     make([]float64, n),
+		})
+	}
+	return id
+}
+
+// Release returns a slot to the free list. The caller must drop every
+// Param adopted into it first — the storage is reused by the next
+// Alloc.
+func (a *Arena) Release(id int) {
+	if id < 0 || id >= a.next {
+		panic(fmt.Sprintf("nn: arena release of unknown slot %d", id))
+	}
+	for _, f := range a.free {
+		if f == id {
+			panic(fmt.Sprintf("nn: arena double release of slot %d", id))
+		}
+	}
+	a.live--
+	// Sorted insert keeps Alloc deterministic (lowest id first).
+	at := len(a.free)
+	for i, f := range a.free {
+		if f > id {
+			at = i
+			break
+		}
+	}
+	a.free = append(a.free, 0)
+	copy(a.free[at+1:], a.free[at:])
+	a.free[at] = id
+}
+
+// Live reports the number of currently allocated slots.
+func (a *Arena) Live() int { return a.live }
+
+// PerSlot reports the floats one slot occupies (per tensor kind).
+func (a *Arena) PerSlot() int { return a.perSlot }
+
+// Adopt moves params into slot id: every tensor is copied into the slab
+// and the Param's matrices are rebound to slab views. Params must match
+// the arena's architecture exactly. Live Adam moments move with the
+// param; lazy (nil) moments stay lazy — the pre-carved views are
+// attached on the Param and become live, zeroed, exactly when the
+// optimiser's lazy allocation would have fired.
+func (a *Arena) Adopt(id int, params []*Param) {
+	if len(params) != len(a.shapes) {
+		panic(fmt.Sprintf("nn: arena adopt of %d params into %d-tensor slots", len(params), len(a.shapes)))
+	}
+	chunk := a.chunks[id/a.slotsPerChunk]
+	base := (id % a.slotsPerChunk) * a.perSlot
+	for i, p := range params {
+		s := a.shapes[i]
+		if p.Name != s.Name || p.Value.Rows != s.Rows || p.Value.Cols != s.Cols {
+			panic(fmt.Sprintf("nn: arena adopt param %d is %q %dx%d, slot wants %q %dx%d",
+				i, p.Name, p.Value.Rows, p.Value.Cols, s.Name, s.Rows, s.Cols))
+		}
+		lo := base + a.offsets[i]
+		hi := lo + s.Rows*s.Cols
+		value := mat.FromSlice(s.Rows, s.Cols, chunk.value[lo:hi:hi])
+		grad := mat.FromSlice(s.Rows, s.Cols, chunk.grad[lo:hi:hi])
+		am := mat.FromSlice(s.Rows, s.Cols, chunk.m[lo:hi:hi])
+		av := mat.FromSlice(s.Rows, s.Cols, chunk.v[lo:hi:hi])
+		value.CopyFrom(p.Value)
+		grad.CopyFrom(p.Grad)
+		am.Zero()
+		av.Zero()
+		p.Value, p.Grad = value, grad
+		if p.m != nil {
+			am.CopyFrom(p.m)
+			av.CopyFrom(p.v)
+			p.m, p.v = am, av
+		}
+		p.am, p.av = am, av
+	}
+}
+
+// Detach rebinds params to private heap storage (deep copies of their
+// current matrices), severing every arena view. Called before a slot is
+// released so a drained agent keeps its full state — values, gradients
+// and live Adam moments — and remains usable and checkpointable
+// standalone while the slot's slabs are reused.
+func Detach(params []*Param) {
+	for _, p := range params {
+		p.Value = p.Value.Clone()
+		p.Grad = p.Grad.Clone()
+		if p.m != nil {
+			p.m = p.m.Clone()
+			p.v = p.v.Clone()
+		}
+		p.am, p.av = nil, nil
+	}
+}
+
+// adoptMoments activates a Param's pre-carved arena moment views if it
+// has any, zeroed like a fresh allocation. Reports whether it did.
+func (p *Param) adoptMoments() bool {
+	if p.am == nil {
+		return false
+	}
+	p.am.Zero()
+	p.av.Zero()
+	p.m, p.v = p.am, p.av
+	return true
+}

@@ -1,0 +1,165 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/checkpoint"
+	"github.com/twig-sched/twig/internal/mat"
+)
+
+func buildArenaNet(seed int64) *Sequential {
+	rng := rand.New(rand.NewSource(seed))
+	return NewSequential(
+		NewDense("l1", 5, 16, rng),
+		NewReLU(),
+		NewDense("l2", 16, 3, rng),
+	)
+}
+
+func requireParamsBitsEqual(t *testing.T, tag string, got, want []*Param) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d params vs %d", tag, len(got), len(want))
+	}
+	for i := range want {
+		for j, w := range want[i].Value.Data {
+			g := got[i].Value.Data[j]
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("%s: param %q element %d: %v != %v", tag, want[i].Name, j, g, w)
+			}
+		}
+	}
+}
+
+// TestArenaTrainingBitIdentical trains a heap-backed and an
+// arena-adopted copy of the same network in lockstep and requires
+// bitwise-equal parameters, gradients and checkpoints throughout —
+// adoption may move memory but must not change a single rounding.
+func TestArenaTrainingBitIdentical(t *testing.T) {
+	solo := buildArenaNet(7)
+	pooled := buildArenaNet(7)
+	arena := NewArena(ShapesOf(pooled.Params()), 2)
+	id := arena.Alloc()
+	arena.Adopt(id, pooled.Params())
+
+	optS := NewAdam(0.01)
+	optP := NewAdam(0.01)
+	rng := rand.New(rand.NewSource(99))
+	x := mat.New(4, 5)
+	want := mat.New(4, 3)
+	for step := 0; step < 20; step++ {
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		for i := range want.Data {
+			want.Data[i] = rng.NormFloat64()
+		}
+		for net, opt := range map[*Sequential]*Adam{solo: optS, pooled: optP} {
+			out := net.Forward(x, true)
+			grad := mat.New(4, 3)
+			for i := range grad.Data {
+				grad.Data[i] = out.Data[i] - want.Data[i]
+			}
+			net.Backward(grad)
+			opt.StepAndZeroGrad(net.Params())
+		}
+		requireParamsBitsEqual(t, "train", pooled.Params(), solo.Params())
+	}
+
+	// Checkpoint bytes must be identical too — the arena must not
+	// change what EncodeParams writes (including moment presence).
+	es, ep := checkpoint.NewEncoder(), checkpoint.NewEncoder()
+	EncodeParams(es, solo.Params())
+	EncodeParams(ep, pooled.Params())
+	if !bytes.Equal(es.Bytes(), ep.Bytes()) {
+		t.Fatal("arena-adopted checkpoint bytes differ from heap-backed")
+	}
+}
+
+// TestArenaUntrainedMomentsStayLazy pins that adoption alone does not
+// make Adam moments live — an untrained pooled agent checkpoints
+// exactly like an untrained solo agent (hasMoments=false).
+func TestArenaUntrainedMomentsStayLazy(t *testing.T) {
+	solo := buildArenaNet(3)
+	pooled := buildArenaNet(3)
+	arena := NewArena(ShapesOf(pooled.Params()), 0)
+	arena.Adopt(arena.Alloc(), pooled.Params())
+
+	es, ep := checkpoint.NewEncoder(), checkpoint.NewEncoder()
+	EncodeParams(es, solo.Params())
+	EncodeParams(ep, pooled.Params())
+	if !bytes.Equal(es.Bytes(), ep.Bytes()) {
+		t.Fatal("adoption made untrained moments live")
+	}
+
+	// ResetMoments then retrain: the lazy re-adoption must zero the
+	// views like a fresh allocation.
+	opt := NewAdam(0.01)
+	x := mat.New(1, 5)
+	x.Fill(1)
+	out := pooled.Forward(x, true)
+	pooled.Backward(out)
+	opt.StepAndZeroGrad(pooled.Params())
+	ResetMoments(pooled.Params())
+	for _, p := range pooled.Params() {
+		if p.m != nil {
+			t.Fatal("ResetMoments left moments live")
+		}
+	}
+	opt.StepAndZeroGrad(pooled.Params())
+	for _, p := range pooled.Params() {
+		if p.m != p.am {
+			t.Fatal("lazy re-adoption did not reuse the arena views")
+		}
+	}
+}
+
+// TestArenaSlotLifecycle pins deterministic slot reuse: release + alloc
+// hands back the lowest freed id, chunk growth keeps old views valid,
+// and misuse panics.
+func TestArenaSlotLifecycle(t *testing.T) {
+	shapes := []ParamShape{{Name: "p", Rows: 2, Cols: 3}}
+	a := NewArena(shapes, 2)
+	ids := []int{a.Alloc(), a.Alloc(), a.Alloc(), a.Alloc(), a.Alloc()}
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("alloc %d returned %d", i, id)
+		}
+	}
+	if a.Live() != 5 {
+		t.Fatalf("Live() = %d, want 5", a.Live())
+	}
+
+	// Views created before growth must still address their slot.
+	p := NewParam("p", 2, 3)
+	p.Value.Fill(7)
+	a.Adopt(ids[1], []*Param{p})
+	pre := p.Value.Data
+	for i := 0; i < 20; i++ {
+		a.Alloc() // force more chunks
+	}
+	if &pre[0] != &p.Value.Data[0] || p.Value.At(0, 0) != 7 {
+		t.Fatal("chunk growth invalidated an adopted view")
+	}
+
+	a.Release(ids[3])
+	a.Release(ids[0])
+	a.Release(ids[4])
+	if got := a.Alloc(); got != 0 {
+		t.Fatalf("alloc after release returned %d, want 0 (lowest)", got)
+	}
+	if got := a.Alloc(); got != 3 {
+		t.Fatalf("alloc after release returned %d, want 3", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	a.Release(ids[4])
+	a.Release(ids[4])
+}
