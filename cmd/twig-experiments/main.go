@@ -4,14 +4,18 @@
 // Usage:
 //
 //	twig-experiments -experiment fig5 [-scale quick|paper] [-seed 1] [-parallel N]
+//	twig-experiments -fig figscen -short
 //	twig-experiments -experiment all
 //
-// -parallel fans independent experiment cells out over N workers
-// (default GOMAXPROCS); results are byte-identical at any setting.
+// -fig is an alias for -experiment. -parallel fans independent
+// experiment cells out over N workers (default GOMAXPROCS); results are
+// byte-identical at any setting. -short substitutes a smoke-test scale
+// (tiny networks, 200-interval runs) so CI can rerun an experiment and
+// diff the output in seconds.
 //
 // Experiment ids: fig1, table1, fig4, table2, table3, fig5, fig6, fig7,
 // figmem, fig8, fig9, fig10, fig11, fig12, fig13, figfault, figchaos,
-// ablations.
+// figscen, ablations.
 package main
 
 import (
@@ -27,13 +31,18 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "experiment id (fig1..fig13, table1..table3, figmem, ablations, all)")
+		exp      = flag.String("experiment", "all", "experiment id (fig1..fig13, table1..table3, figmem, figscen, ablations, all)")
+		fig      = flag.String("fig", "", "alias for -experiment")
 		scale    = flag.String("scale", "quick", "experiment scale: quick or paper")
+		short    = flag.Bool("short", false, "smoke-test scale: tiny networks, 200-interval runs (overrides -scale)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent experiment cells (results are identical at any setting)")
 	)
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+	if *fig != "" {
+		*exp = *fig
+	}
 
 	var sc experiments.Scale
 	switch *scale {
@@ -44,6 +53,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+	if *short {
+		sc = experiments.ShortScale()
 	}
 
 	runners := map[string]func(){
@@ -80,6 +92,7 @@ func main() {
 		"fig12":           func() { fmt.Println(experiments.Fig12(sc, *seed)) },
 		"figfault":        func() { fmt.Println(experiments.FigFault(sc, *seed)) },
 		"figchaos":        func() { fmt.Println(experiments.FigChaos(sc, *seed)) },
+		"figscen":         func() { fmt.Println(experiments.FigScen(sc, *seed)) },
 		"fig13":           func() { fmt.Println(experiments.Fig13(experiments.ServicePairs(), sc, *seed)) },
 		"extension-cat":   func() { fmt.Println(experiments.ExtensionCAT(sc, *seed)) },
 		"extension-batch": func() { fmt.Println(experiments.BatchColoc(sc, *seed)) },
@@ -95,7 +108,7 @@ func main() {
 	order := []string{
 		"fig1", "table1", "fig4", "table2", "table3", "fig5", "fig6", "fig7",
 		"figmem", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-		"figfault", "figchaos", "extension-cat", "extension-batch", "ablations",
+		"figfault", "figchaos", "figscen", "extension-cat", "extension-batch", "ablations",
 	}
 	if *exp == "all" {
 		for _, id := range order {

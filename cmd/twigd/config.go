@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"github.com/twig-sched/twig/internal/experiments"
+	"github.com/twig-sched/twig/internal/scenario"
 	"github.com/twig-sched/twig/internal/sim/faults"
 	"github.com/twig-sched/twig/internal/sim/service"
 )
@@ -22,6 +23,7 @@ var (
 	errUnknownService = errors.New("twigd: unknown service")
 	errUnknownScale   = errors.New("twigd: unknown scale (want quick or paper)")
 	errBadNodes       = errors.New("twigd: -nodes must be at least 1")
+	errScenarioFlags  = errors.New("twigd: -scenario is mutually exclusive with -trace (a scenario brings its own generated traces)")
 )
 
 // runConfig is the parsed, validated command line.
@@ -30,6 +32,7 @@ type runConfig struct {
 	loads    []float64
 	pattern  string
 	trace    string
+	scenario string
 	csv      string
 	httpAddr string
 	save     string
@@ -64,6 +67,7 @@ func parseConfig(args []string, errOut io.Writer) (runConfig, error) {
 		loadsFlag    = fs.String("loads", "0.5", "comma-separated load fractions of each service's max")
 		pattern      = fs.String("pattern", "fixed", "load pattern: fixed, stepwise or diurnal")
 		traceFlag    = fs.String("trace", "", "CSV load trace for the first service (overrides -pattern)")
+		scenFlag     = fs.String("scenario", "", "named scenario preset ("+strings.Join(scenario.Names(), ", ")+"): platform, service mix and generated traces replace -services/-loads/-pattern")
 		csvFlag      = fs.String("csv", "", "write a per-interval CSV record of the run to this file")
 		httpFlag     = fs.String("http", "", "serve the admission API, /status and /metrics on this address while running")
 		saveFlag     = fs.String("save", "", "write learned network weights to this file at exit")
@@ -88,6 +92,7 @@ func parseConfig(args []string, errOut io.Writer) (runConfig, error) {
 	cfg := runConfig{
 		pattern:   *pattern,
 		trace:     *traceFlag,
+		scenario:  *scenFlag,
 		csv:       *csvFlag,
 		httpAddr:  *httpFlag,
 		save:      *saveFlag,
@@ -104,6 +109,15 @@ func parseConfig(args []string, errOut io.Writer) (runConfig, error) {
 	}
 	if cfg.nodes < 1 {
 		return runConfig{}, fmt.Errorf("%w: %d", errBadNodes, cfg.nodes)
+	}
+	if cfg.scenario != "" {
+		if cfg.trace != "" {
+			return runConfig{}, errScenarioFlags
+		}
+		// scenario.Named's error lists the presets for the operator.
+		if _, err := scenario.Named(cfg.scenario); err != nil {
+			return runConfig{}, err
+		}
 	}
 
 	for _, name := range strings.Split(*servicesFlag, ",") {

@@ -94,6 +94,29 @@ func TestParseConfigTable(t *testing.T) {
 			wantErr: errUnknownScale,
 		},
 		{
+			name: "scenario preset",
+			args: []string{"-scenario", "agentic-burst"},
+			check: func(t *testing.T, cfg runConfig) {
+				if cfg.scenario != "agentic-burst" {
+					t.Errorf("scenario = %q", cfg.scenario)
+				}
+			},
+		},
+		{
+			name: "scenario with fleet flags",
+			args: []string{"-scenario", "diurnal", "-nodes", "3", "-node-faults", "chaos"},
+			check: func(t *testing.T, cfg runConfig) {
+				if cfg.scenario != "diurnal" || cfg.nodes != 3 {
+					t.Errorf("scenario = %q nodes = %d", cfg.scenario, cfg.nodes)
+				}
+			},
+		},
+		{
+			name:    "scenario conflicts with trace",
+			args:    []string{"-scenario", "cloud-edge", "-trace", "load.csv"},
+			wantErr: errScenarioFlags,
+		},
+		{
 			name:    "help passes through",
 			args:    []string{"-h"},
 			wantErr: flag.ErrHelp,
@@ -120,5 +143,14 @@ func TestParseConfigUnknownFault(t *testing.T) {
 	_, err := parseConfig([]string{"-faults", "gremlins"}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "gremlins") {
 		t.Fatalf("err = %v, want unknown-scenario error naming the input", err)
+	}
+}
+
+// An unknown preset must fail the parse with an error that names the
+// input and lists the available presets, so the operator can self-serve.
+func TestParseConfigUnknownScenario(t *testing.T) {
+	_, err := parseConfig([]string{"-scenario", "mars-base"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "mars-base") || !strings.Contains(err.Error(), "cloud-edge") {
+		t.Fatalf("err = %v, want unknown-preset error naming the input and the presets", err)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"github.com/twig-sched/twig/internal/checkpoint"
 	"github.com/twig-sched/twig/internal/cluster"
 	"github.com/twig-sched/twig/internal/experiments"
+	"github.com/twig-sched/twig/internal/sim"
 )
 
 // runFleet is twigd's -nodes mode: a fleet of simulated nodes, each
@@ -29,6 +30,47 @@ func runFleet(cfg runConfig) error {
 		MaxRetries:      4,
 		Factory:         experiments.FleetFactory(cfg.scale),
 		CheckpointEvery: cfg.ckptEvery,
+	}
+
+	// A scenario preset replaces the homogeneous fleet: one node per
+	// world with the class's platform, and each class mix admitted as
+	// replicas at the mix load (placement stays the coordinator's; the
+	// generated traces apply only in single-node mode).
+	var admits []cluster.ReplicaSpec
+	if cfg.scenario != "" {
+		worlds, err := scenarioWorlds(cfg)
+		if err != nil {
+			return err
+		}
+		if cfg.nodes != len(worlds) {
+			fmt.Printf("twigd: scenario %q fixes the fleet at %d nodes (-nodes %d ignored)\n",
+				cfg.scenario, len(worlds), cfg.nodes)
+			cfg.nodes = len(worlds)
+			ccfg.Nodes = len(worlds)
+		}
+		ccfg.NodeSims = make([]sim.Config, len(worlds))
+		for i, w := range worlds {
+			ccfg.NodeSims[i] = w.SimConfig(cfg.seed)
+			for _, m := range w.Class.Mix {
+				admits = append(admits, cluster.ReplicaSpec{
+					Service:     m.Service,
+					LoadFrac:    m.LoadFrac,
+					QoSTargetMs: experiments.QoSTarget(m.Service),
+					Class:       cluster.LC,
+					Priority:    len(admits),
+				})
+			}
+		}
+	} else {
+		for i, name := range cfg.names {
+			admits = append(admits, cluster.ReplicaSpec{
+				Service:     name,
+				LoadFrac:    cfg.loads[i],
+				QoSTargetMs: experiments.QoSTarget(name),
+				Class:       cluster.LC,
+				Priority:    len(cfg.names) - 1 - i,
+			})
+		}
 	}
 	var store *checkpoint.Store
 	if cfg.ckptDir != "" {
@@ -61,14 +103,7 @@ func runFleet(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
-		for i, name := range cfg.names {
-			spec := cluster.ReplicaSpec{
-				Service:     name,
-				LoadFrac:    cfg.loads[i],
-				QoSTargetMs: experiments.QoSTarget(name),
-				Class:       cluster.LC,
-				Priority:    len(cfg.names) - 1 - i,
-			}
+		for _, spec := range admits {
 			if _, err := c.Admit(spec); err != nil {
 				return err
 			}
@@ -87,7 +122,7 @@ func runFleet(cfg runConfig) error {
 	}
 
 	fmt.Printf("twigd: fleet of %d nodes (capacity %d), %d replicas, node scenario %q\n",
-		cfg.nodes, cfg.nodeCap, len(cfg.names), cfg.nodeFaults.Name)
+		cfg.nodes, cfg.nodeCap, len(admits), cfg.nodeFaults.Name)
 	for coord.Clock() < cfg.seconds {
 		coord.Step()
 		if coord.Clock()%cfg.logEvery == 0 {

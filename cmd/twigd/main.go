@@ -14,6 +14,18 @@
 //	twigd -services masstree,moses -faults hostile -guard
 //	twigd -services masstree -faults crash -checkpoint-dir /var/lib/twigd
 //	twigd -nodes 3 -services masstree,xapian -node-faults chaos -seconds 600
+//	twigd -scenario cloud-edge -seconds 3600
+//
+// With -scenario <preset> (cloud-edge, agentic-burst or diurnal) the
+// daemon manages the preset's first world: its node class fixes the
+// simulated platform (SKU, DVFS range, inter-tier latency tax) and the
+// class's service mix is admitted under the scenario's deterministic
+// generated traces, replacing -services/-loads/-pattern. Combined with
+// -nodes > 1 the whole preset becomes the fleet: one node per world,
+// heterogeneous per-node platforms, the mixes admitted as replicas
+// (placement stays the coordinator's; fleet load is the mix fraction,
+// not the generated traces). A resumed run must be started with the
+// same -scenario, like -trace.
 //
 // With -nodes N (N > 1) twigd runs a fleet: N simulated nodes, each
 // under its own Twig control loop, coordinated by the cluster control
@@ -43,6 +55,7 @@ import (
 	"github.com/twig-sched/twig/internal/core"
 	"github.com/twig-sched/twig/internal/daemon"
 	"github.com/twig-sched/twig/internal/report"
+	"github.com/twig-sched/twig/internal/scenario"
 	"github.com/twig-sched/twig/internal/sim"
 	"github.com/twig-sched/twig/internal/sim/loadgen"
 )
@@ -74,6 +87,24 @@ func run(cfg runConfig) error {
 	}
 	if !cfg.faults.IsZero() {
 		dcfg.Faults = &cfg.faults
+	}
+	if cfg.scenario != "" {
+		w, err := scenarioWorlds(cfg)
+		if err != nil {
+			return err
+		}
+		first := w[0]
+		sc := first.SimConfig(cfg.seed)
+		dcfg.Sim = &sc
+		dcfg.PatternOverrides = make(map[string]loadgen.Pattern, len(first.Services))
+		cfg.names = first.Services
+		cfg.loads = make([]float64, len(first.Services))
+		for i, name := range first.Services {
+			dcfg.PatternOverrides[name] = first.Traces[i]
+			cfg.loads[i] = loadFracOf(first, name)
+		}
+		fmt.Printf("twigd: scenario %q world %s: %v on the %q node class\n",
+			cfg.scenario, first.Name, first.Services, first.Class.Name)
 	}
 	if cfg.trace != "" {
 		f, err := os.Open(cfg.trace)
@@ -316,6 +347,32 @@ func loadInto(mgr *core.Manager, path string) error {
 		return fmt.Errorf("loading legacy weights %s: %w", path, err)
 	}
 	return nil
+}
+
+// scenarioWorlds expands the validated -scenario preset at the run's
+// seed. Used by both the single-node engine (first world) and the fleet
+// (one node per world).
+func scenarioWorlds(cfg runConfig) ([]scenario.World, error) {
+	spec, err := scenario.Named(cfg.scenario)
+	if err != nil {
+		return nil, err
+	}
+	worlds, err := spec.Worlds(cfg.seed)
+	if err != nil {
+		return nil, fmt.Errorf("expanding scenario %q: %w", cfg.scenario, err)
+	}
+	return worlds, nil
+}
+
+// loadFracOf returns the mix load fraction for one of a world's
+// services.
+func loadFracOf(w scenario.World, name string) float64 {
+	for _, m := range w.Class.Mix {
+		if m.Service == name {
+			return m.LoadFrac
+		}
+	}
+	return 0
 }
 
 func fail(format string, args ...interface{}) {

@@ -105,6 +105,13 @@ type Config struct {
 	// < 1 become 60).
 	Store           *checkpoint.Store
 	CheckpointEvery int
+	// NodeSims, when non-empty, gives each node its own simulator
+	// configuration (platform SKU, DVFS range, inter-tier latency tax) —
+	// a heterogeneous fleet, e.g. a cloud-edge scenario's node classes.
+	// Its length must equal Nodes; MeasurementSeed is overridden with
+	// the node's derived seed. Empty keeps every node on the default
+	// paper SKU.
+	NodeSims []sim.Config
 }
 
 func (c *Config) normalize() {
@@ -199,6 +206,9 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.Factory == nil {
 		return nil, fmt.Errorf("cluster: a ControllerFactory is required")
+	}
+	if len(cfg.NodeSims) != 0 && len(cfg.NodeSims) != cfg.Nodes {
+		return nil, fmt.Errorf("cluster: %d node sim configs for %d nodes", len(cfg.NodeSims), cfg.Nodes)
 	}
 	c := &Coordinator{
 		cfg:      cfg,

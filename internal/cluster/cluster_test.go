@@ -10,6 +10,7 @@ import (
 	"github.com/twig-sched/twig/internal/ctrl"
 	"github.com/twig-sched/twig/internal/sim"
 	"github.com/twig-sched/twig/internal/sim/faults"
+	"github.com/twig-sched/twig/internal/sim/platform"
 )
 
 // testCtl is a cheap deterministic controller: every service on every
@@ -545,5 +546,59 @@ func TestDeadLetterSurvivesCheckpointRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(r.Summary().StatusText(), "retries exhausted") {
 		t.Error("restored status text lost the dead-letter reason")
+	}
+}
+
+// TestHeterogeneousFleet runs a cloud-edge-shaped fleet: node 0 on the
+// paper SKU, nodes 1–2 on a capped 10-core edge SKU with a latency tax.
+// Placement must land worlds on the per-node platforms and steps must
+// run clean on all of them.
+func TestHeterogeneousFleet(t *testing.T) {
+	edge := sim.DefaultConfig()
+	edge.Platform = platform.Config{Sockets: 1, CoresPerSocket: 10, MinFreqGHz: 1.2, MaxFreqGHz: 1.6}
+	edge.ManagedSocket = 0
+	edge.LatencyTaxMs = 1
+	sims := []sim.Config{sim.DefaultConfig(), edge, edge}
+	c, err := New(Config{Nodes: 3, NodeCapacity: 2, Seed: 21, Factory: testFactory, NodeSims: sims})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdmit(t, c, lcSpec("memcached", 0), lcSpec("xapian", 1), lcSpec("masstree", 2))
+	stepN(c, 20)
+	placed := 0
+	for i, n := range c.nodes {
+		if n.srv == nil {
+			continue
+		}
+		placed++
+		want := sims[i].Platform
+		if want.Sockets == 0 {
+			want = platform.DefaultConfig()
+		}
+		got := n.srv.Platform().Config()
+		if got.Sockets != want.Sockets || got.CoresPerSocket != want.CoresPerSocket {
+			t.Fatalf("node %d runs %+v, want %+v", i, got, want)
+		}
+		if i > 0 {
+			if _, hi := n.srv.FreqRange(); hi != 1.6 {
+				t.Fatalf("edge node %d DVFS ceiling %v", i, hi)
+			}
+		}
+	}
+	if placed == 0 {
+		t.Fatal("no worlds placed")
+	}
+	for _, r := range c.Replicas() {
+		if r.State != Running {
+			t.Fatalf("replica %d state %v", r.ID, r.State)
+		}
+	}
+	checkTicks(t, c)
+}
+
+func TestNodeSimsLengthValidated(t *testing.T) {
+	_, err := New(Config{Nodes: 3, Factory: testFactory, NodeSims: []sim.Config{sim.DefaultConfig()}})
+	if err == nil {
+		t.Fatal("mismatched NodeSims length must be rejected")
 	}
 }

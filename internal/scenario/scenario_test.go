@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/sim/loadgen"
+)
+
+// fingerprint serialises a trace with hex-float exactness: two traces
+// share a fingerprint iff they are bit-identical.
+func fingerprint(tr *loadgen.Trace) string {
+	var b strings.Builder
+	for t := 0; t < tr.Len(); t++ {
+		b.WriteString(strconv.FormatFloat(tr.RPS(t), 'x', -1, 64))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestPresets(t *testing.T) {
+	names := Names()
+	want := []string{"agentic-burst", "cloud-edge", "diurnal"}
+	if len(names) != len(want) {
+		t.Fatalf("presets = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("presets = %v, want %v", names, want)
+		}
+	}
+	for _, n := range names {
+		sp := MustNamed(n)
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("preset %s invalid: %v", n, err)
+		}
+		if sp.Name != n {
+			t.Fatalf("preset %s names itself %s", n, sp.Name)
+		}
+	}
+	if _, err := Named("nope"); err == nil {
+		t.Fatal("unknown preset must error")
+	}
+}
+
+func TestWorldsExpansion(t *testing.T) {
+	sp := MustNamed("cloud-edge")
+	worlds, err := sp.Worlds(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != 3 || sp.TotalNodes() != 3 {
+		t.Fatalf("cloud-edge expands to %d worlds", len(worlds))
+	}
+	if worlds[0].Name != "cloud-edge/cloud0" || worlds[2].Name != "cloud-edge/edge1" {
+		t.Fatalf("world names %s %s", worlds[0].Name, worlds[2].Name)
+	}
+	for i, w := range worlds {
+		if w.NodeIndex != i {
+			t.Fatalf("world %d indexed %d", i, w.NodeIndex)
+		}
+		if len(w.Traces) != len(w.Class.Mix) || len(w.Services) != len(w.Traces) {
+			t.Fatalf("world %s traces/mix mismatch", w.Name)
+		}
+		for _, tr := range w.Traces {
+			if tr.Len() != sp.DurationS || !tr.Loop {
+				t.Fatalf("world %s trace len %d loop %v", w.Name, tr.Len(), tr.Loop)
+			}
+			for s := 0; s < tr.Len(); s++ {
+				if v := tr.RPS(s); v < 0 || v != v {
+					t.Fatalf("world %s rps(%d) = %v", w.Name, s, v)
+				}
+			}
+		}
+	}
+
+	// Tier shapes: the cloud node runs the paper SKU behind the WAN
+	// tax, the edge nodes a capped single-socket SKU close to users.
+	cloud := worlds[0].SimConfig(1)
+	if cloud.Platform.Sockets != 2 || cloud.ManagedSocket != 1 || cloud.LatencyTaxMs != 6 {
+		t.Fatalf("cloud sim config %+v", cloud)
+	}
+	edge := worlds[1].SimConfig(1)
+	if edge.Platform.Sockets != 1 || edge.ManagedSocket != 0 || edge.LatencyTaxMs != 1 {
+		t.Fatalf("edge sim config %+v", edge)
+	}
+	if lo, hi := edge.Platform.FreqRange(); lo != 1.2 || hi != 1.6 {
+		t.Fatalf("edge DVFS range [%v,%v]", lo, hi)
+	}
+
+	specs := worlds[1].ServiceSpecs(7, func(string) float64 { return 9 })
+	if len(specs) != 2 || specs[0].QoSTargetMs != 9 || specs[1].Seed != 7+101 {
+		t.Fatalf("service specs %+v", specs)
+	}
+}
+
+// TestWorldsDeterminism pins the engine's contract: same (spec, seed)
+// gives byte-identical traces, different seeds differ, and sibling
+// nodes of one class draw distinct streams.
+func TestWorldsDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		sp := MustNamed(name)
+		a, err := sp.Worlds(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := sp.Worlds(42)
+		c, _ := sp.Worlds(43)
+		for i := range a {
+			for j := range a[i].Traces {
+				fa := fingerprint(a[i].Traces[j])
+				if fa != fingerprint(b[i].Traces[j]) {
+					t.Fatalf("%s world %d trace %d: same seed differs", name, i, j)
+				}
+				if fa == fingerprint(c[i].Traces[j]) {
+					t.Fatalf("%s world %d trace %d: seed 42 and 43 coincide", name, i, j)
+				}
+			}
+		}
+		if len(a) > 1 && fingerprint(a[0].Traces[0]) == fingerprint(a[1].Traces[0]) {
+			t.Fatalf("%s: sibling nodes share a trace", name)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() Spec { return MustNamed("diurnal") }
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no name", func(s *Spec) { s.Name = "" }},
+		{"bad generator", func(s *Spec) { s.Gen = "wat" }},
+		{"short duration", func(s *Spec) { s.DurationS = 10 }},
+		{"no classes", func(s *Spec) { s.Classes = nil }},
+		{"zero count", func(s *Spec) { s.Classes[0].Count = 0 }},
+		{"unknown service", func(s *Spec) { s.Classes[0].Mix[0].Service = "wat" }},
+		{"bad fraction", func(s *Spec) { s.Classes[0].Mix[0].LoadFrac = 0 }},
+		{"negative tax", func(s *Spec) { s.Classes[0].LatencyTaxMs = -1 }},
+		{"bad burstiness", func(s *Spec) { s.Classes[0].Burstiness = 2 }},
+		{"inverted DVFS", func(s *Spec) { s.Classes[0].Platform.MinFreqGHz = 1.8; s.Classes[0].Platform.MaxFreqGHz = 1.3 }},
+		{"empty mix", func(s *Spec) { s.Classes[0].Mix = nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := base()
+			tc.mutate(&sp)
+			if err := sp.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+			if _, err := sp.Worlds(1); err == nil {
+				t.Fatal("Worlds must reject an invalid spec")
+			}
+		})
+	}
+}

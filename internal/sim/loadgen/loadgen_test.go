@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -159,21 +160,24 @@ func TestReadTraceErrors(t *testing.T) {
 		name    string
 		input   string
 		wantErr string
+		// badRPS marks rows rejected for an unusable load value; those
+		// must match the named ErrBadRPS, structural errors must not.
+		badRPS bool
 	}{
-		{"empty", "", "empty trace"},
-		{"header only", "rps\n", "empty trace"},
-		{"non-ascending timestamps", "t,rps\n1,100\n1,200", "ascend"},
-		{"bad rps", "t,rps\n0,abc", "bad rps"},
-		{"negative", "rps\n-5", "negative rps"},
-		{"non-numeric after data", "rps\n100\ngarbage", "non-numeric"},
-		{"NaN rps", "rps\n100\nNaN", "NaN"},
-		{"infinite rps", "rps\n100\nInf", "infinite"},
-		{"negative infinity", "rps\n100\n-Inf", "infinite"},
-		{"NaN rps two-column", "t,rps\n0,100\n1,nan", "NaN"},
-		{"infinite rps two-column", "t,rps\n0,100\n1,+Inf", "infinite"},
-		{"negative two-column", "t,rps\n0,100\n1,-3", "negative rps"},
-		{"NaN timestamp", "t,rps\nNaN,100", "non-finite timestamp"},
-		{"infinite timestamp", "t,rps\nInf,100", "non-finite timestamp"},
+		{"empty", "", "empty trace", false},
+		{"header only", "rps\n", "empty trace", false},
+		{"non-ascending timestamps", "t,rps\n1,100\n1,200", "ascend", false},
+		{"bad rps", "t,rps\n0,abc", "bad rps", false},
+		{"negative", "rps\n-5", "negative rps", true},
+		{"non-numeric after data", "rps\n100\ngarbage", "non-numeric", false},
+		{"NaN rps", "rps\n100\nNaN", "NaN", true},
+		{"infinite rps", "rps\n100\nInf", "infinite", true},
+		{"negative infinity", "rps\n100\n-Inf", "infinite", true},
+		{"NaN rps two-column", "t,rps\n0,100\n1,nan", "NaN", true},
+		{"infinite rps two-column", "t,rps\n0,100\n1,+Inf", "infinite", true},
+		{"negative two-column", "t,rps\n0,100\n1,-3", "negative rps", true},
+		{"NaN timestamp", "t,rps\nNaN,100", "non-finite timestamp", false},
+		{"infinite timestamp", "t,rps\nInf,100", "non-finite timestamp", false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -183,6 +187,9 @@ func TestReadTraceErrors(t *testing.T) {
 			}
 			if !strings.Contains(err.Error(), tc.wantErr) {
 				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if got := errors.Is(err, ErrBadRPS); got != tc.badRPS {
+				t.Fatalf("errors.Is(err, ErrBadRPS) = %v, want %v for %q", got, tc.badRPS, err)
 			}
 		})
 	}

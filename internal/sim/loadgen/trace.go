@@ -2,12 +2,19 @@ package loadgen
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"strconv"
 	"strings"
 )
+
+// ErrBadRPS marks a trace row whose rps value is not a load a server can
+// be offered: NaN, infinite, or negative. Callers match it with
+// errors.Is to distinguish malformed load values from structural CSV
+// errors.
+var ErrBadRPS = errors.New("loadgen: bad rps value")
 
 // Trace replays a recorded load series: one RPS value per second,
 // optionally time-stamped. It lets the harness drive the simulator with
@@ -80,11 +87,11 @@ func ReadTrace(r io.Reader, loop bool) (*Trace, error) {
 		// a load a server can be offered, so reject them with the row.
 		switch {
 		case math.IsNaN(v):
-			return nil, fmt.Errorf("loadgen: row %d: rps is NaN", len(rps)+1)
+			return nil, fmt.Errorf("%w: row %d: rps is NaN", ErrBadRPS, len(rps)+1)
 		case math.IsInf(v, 0):
-			return nil, fmt.Errorf("loadgen: row %d: rps is infinite", len(rps)+1)
+			return nil, fmt.Errorf("%w: row %d: rps is infinite", ErrBadRPS, len(rps)+1)
 		case v < 0:
-			return nil, fmt.Errorf("loadgen: row %d: negative rps %v", len(rps)+1, v)
+			return nil, fmt.Errorf("%w: row %d: negative rps %v", ErrBadRPS, len(rps)+1, v)
 		}
 		rps = append(rps, v)
 	}

@@ -62,15 +62,72 @@ func StepForFreq(ghz float64) int {
 	return step
 }
 
-// Config describes the machine shape.
+// Config describes the machine shape. MinFreqGHz/MaxFreqGHz bound the
+// per-core DVFS range for heterogeneous SKUs (e.g. an edge node capped
+// at 1.6 GHz); zero values select the paper platform's 1.20–2.00 GHz.
+// Frequencies always snap to the 0.1 GHz grid.
 type Config struct {
 	Sockets        int
 	CoresPerSocket int
+	MinFreqGHz     float64
+	MaxFreqGHz     float64
 }
 
 // DefaultConfig is the paper's evaluation node: 2 sockets × 18 cores,
 // hyper-threading disabled.
 func DefaultConfig() Config { return Config{Sockets: 2, CoresPerSocket: 18} }
+
+// FreqRange returns the configured DVFS bounds, defaulting to the paper
+// platform's range, snapped to the 0.1 GHz grid.
+func (c Config) FreqRange() (lo, hi float64) {
+	lo, hi = c.MinFreqGHz, c.MaxFreqGHz
+	if lo == 0 {
+		lo = MinFreqGHz
+	}
+	if hi == 0 {
+		hi = MaxFreqGHz
+	}
+	lo = math.Round(lo*10) / 10
+	hi = math.Round(hi*10) / 10
+	return lo, hi
+}
+
+// NumFreqStepsFor returns the number of selectable DVFS states in the
+// configured range.
+func (c Config) NumFreqStepsFor() int {
+	lo, hi := c.FreqRange()
+	return int(math.Round((hi-lo)/FreqStepGHz)) + 1
+}
+
+// ClampFreq snaps a frequency to the 0.1 GHz grid and clamps it to the
+// configured range, as the acpi-cpufreq governor would. The snapping
+// uses the same step arithmetic as FreqForStep/StepForFreq, so on the
+// default range it agrees bit-for-bit with the historical
+// FreqForStep(StepForFreq(ghz)) path.
+func (c Config) ClampFreq(ghz float64) float64 {
+	lo, hi := c.FreqRange()
+	step := math.Round((ghz - MinFreqGHz) / FreqStepGHz)
+	if math.IsNaN(step) {
+		return lo
+	}
+	g := math.Round((MinFreqGHz+step*FreqStepGHz)*100) / 100
+	if g < lo {
+		return lo
+	}
+	if g > hi {
+		return hi
+	}
+	return g
+}
+
+// validateFreqRange panics on an unusable DVFS range; called from New so
+// a bad scenario spec fails loudly at construction.
+func (c Config) validateFreqRange() {
+	lo, hi := c.FreqRange()
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo < 0.1 || hi < lo {
+		panic(fmt.Sprintf("platform: invalid DVFS range [%v,%v]", lo, hi))
+	}
+}
 
 // Core is one physical core.
 type Core struct {
@@ -97,13 +154,15 @@ func New(cfg Config) *Platform {
 	if cfg.Sockets <= 0 || cfg.CoresPerSocket <= 0 {
 		panic(fmt.Sprintf("platform: invalid config %+v", cfg))
 	}
+	cfg.validateFreqRange()
+	lo, _ := cfg.FreqRange()
 	p := &Platform{cfg: cfg}
 	p.cores = make([]Core, cfg.Sockets*cfg.CoresPerSocket)
 	for i := range p.cores {
 		p.cores[i] = Core{
 			ID:      i,
 			Socket:  i / cfg.CoresPerSocket,
-			FreqGHz: MinFreqGHz,
+			FreqGHz: lo,
 			Online:  true,
 		}
 	}
@@ -143,11 +202,12 @@ func (p *Platform) SocketCores(socket int) []int {
 	return out
 }
 
-// SetFreq sets the DVFS state of one core (clamped to the legal range
-// and snapped to the 0.1 GHz grid, as the acpi-cpufreq governor would).
+// SetFreq sets the DVFS state of one core (clamped to the machine's
+// legal range and snapped to the 0.1 GHz grid, as the acpi-cpufreq
+// governor would).
 func (p *Platform) SetFreq(id int, ghz float64) {
 	p.check(id)
-	p.cores[id].FreqGHz = FreqForStep(StepForFreq(ghz))
+	p.cores[id].FreqGHz = p.cfg.ClampFreq(ghz)
 }
 
 // SetOnline hotplugs a core in or out. Offline cores drop their owners.
@@ -259,8 +319,8 @@ func (p *Platform) DecodeState(d *checkpoint.Decoder) error {
 		if err := d.Err(); err != nil {
 			return err
 		}
-		if math.IsNaN(freq) || freq < MinFreqGHz || freq > MaxFreqGHz {
-			return fmt.Errorf("platform: core %d frequency %v GHz outside [%v,%v]", i, freq, MinFreqGHz, MaxFreqGHz)
+		if lo, hi := p.cfg.FreqRange(); math.IsNaN(freq) || freq < lo || freq > hi {
+			return fmt.Errorf("platform: core %d frequency %v GHz outside [%v,%v]", i, freq, lo, hi)
 		}
 		p.cores[i].FreqGHz = freq
 		p.cores[i].Online = online

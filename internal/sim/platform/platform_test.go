@@ -3,6 +3,8 @@ package platform
 import (
 	"math"
 	"testing"
+
+	"github.com/twig-sched/twig/internal/checkpoint"
 )
 
 func TestFrequencies(t *testing.T) {
@@ -141,4 +143,80 @@ func TestInvalidConfigPanics(t *testing.T) {
 		}
 	}()
 	New(Config{Sockets: 0, CoresPerSocket: 4})
+}
+
+func TestFreqRangeDefaults(t *testing.T) {
+	lo, hi := DefaultConfig().FreqRange()
+	if lo != MinFreqGHz || hi != MaxFreqGHz {
+		t.Fatalf("default range = [%v,%v]", lo, hi)
+	}
+	if DefaultConfig().NumFreqStepsFor() != NumFreqSteps {
+		t.Fatal("default step count")
+	}
+	edge := Config{Sockets: 1, CoresPerSocket: 10, MinFreqGHz: 1.2, MaxFreqGHz: 1.6}
+	lo, hi = edge.FreqRange()
+	if lo != 1.2 || hi != 1.6 {
+		t.Fatalf("edge range = [%v,%v]", lo, hi)
+	}
+	if edge.NumFreqStepsFor() != 5 {
+		t.Fatalf("edge steps = %d", edge.NumFreqStepsFor())
+	}
+}
+
+// TestClampFreqMatchesLegacyGrid pins the bit-identity of the per-config
+// clamp with the historical FreqForStep(StepForFreq(...)) path on the
+// default platform, so existing trajectories and checkpoints replay
+// unchanged.
+func TestClampFreqMatchesLegacyGrid(t *testing.T) {
+	cfg := DefaultConfig()
+	for i := 0; i <= 1400; i++ {
+		ghz := 0.9 + float64(i)*0.001
+		want := FreqForStep(StepForFreq(ghz))
+		if got := cfg.ClampFreq(ghz); got != want {
+			t.Fatalf("ClampFreq(%v) = %v, legacy grid gives %v", ghz, got, want)
+		}
+	}
+	if got := cfg.ClampFreq(math.NaN()); got != MinFreqGHz {
+		t.Fatalf("ClampFreq(NaN) = %v", got)
+	}
+}
+
+func TestHeterogeneousPlatform(t *testing.T) {
+	cfg := Config{Sockets: 1, CoresPerSocket: 10, MinFreqGHz: 1.2, MaxFreqGHz: 1.6}
+	p := New(cfg)
+	if p.NumCores() != 10 {
+		t.Fatalf("cores = %d", p.NumCores())
+	}
+	if f := p.Core(0).FreqGHz; f != 1.2 {
+		t.Fatalf("initial freq = %v", f)
+	}
+	p.SetFreq(3, 2.0) // above this SKU's cap: governor clamps
+	if f := p.Core(3).FreqGHz; f != 1.6 {
+		t.Fatalf("clamped freq = %v", f)
+	}
+	p.SetFreq(3, 1.44) // snaps to the 0.1 grid
+	if f := p.Core(3).FreqGHz; f != 1.4 {
+		t.Fatalf("snapped freq = %v", f)
+	}
+
+	// A checkpoint cut on this SKU restores onto the same shape but
+	// rejects frequencies outside its range.
+	e := checkpoint.NewEncoder()
+	p.EncodeState(e)
+	q := New(cfg)
+	if err := q.DecodeState(checkpoint.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if q.Core(3).FreqGHz != 1.4 {
+		t.Fatal("restored freq")
+	}
+}
+
+func TestInvalidFreqRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Sockets: 1, CoresPerSocket: 4, MinFreqGHz: 1.8, MaxFreqGHz: 1.2})
 }

@@ -44,6 +44,11 @@ type Config struct {
 	// crowds). The schedule is seeded from MeasurementSeed and does not
 	// depend on controller behaviour.
 	Faults *faults.Scenario
+	// LatencyTaxMs is a constant network round-trip added to every
+	// reported latency line (p99/p95/mean/max): the inter-tier tax a
+	// cloud-edge scenario charges requests that traverse the WAN to
+	// reach this node. Zero for a single-tier deployment.
+	LatencyTaxMs float64
 }
 
 // DefaultConfig returns the paper's evaluation platform.
@@ -150,6 +155,9 @@ type Server struct {
 
 // NewServer builds a simulated server hosting the given services.
 func NewServer(cfg Config, specs []ServiceSpec) *Server {
+	if !isFinite(cfg.LatencyTaxMs) || cfg.LatencyTaxMs < 0 {
+		panic(fmt.Sprintf("sim: latency tax %v ms is not finite and non-negative", cfg.LatencyTaxMs))
+	}
 	plat := platform.New(cfg.Platform)
 	mrng := rng.New(cfg.MeasurementSeed + 1)
 	srng := rng.New(cfg.MeasurementSeed + 2)
@@ -162,7 +170,7 @@ func NewServer(cfg Config, specs []ServiceSpec) *Server {
 		synth:     pmc.NewSynthesizer(srng.Rand, cfg.PMCNoise),
 		powSrc:    mrng.Source(),
 		synthSrc:  srng.Source(),
-		maxima:    pmc.CalibrationMaxima(cfg.Platform.CoresPerSocket, platform.MaxFreqGHz),
+		maxima:    pmc.CalibrationMaxima(cfg.Platform.CoresPerSocket, maxFreqOf(cfg)),
 		downed:    map[int]bool{},
 		crashPrev: make([]bool, len(specs)),
 		warmupLeft: make([]int, len(specs)),
@@ -264,8 +272,20 @@ func (s *Server) BatchWork() float64 { return s.batchWorkJ }
 // MaxPowerW returns the stress-microbenchmark socket power used to
 // normalise the power reward.
 func (s *Server) MaxPowerW() float64 {
-	return s.pow.MaxPower(s.cfg.Platform.CoresPerSocket, platform.MaxFreqGHz)
+	return s.pow.MaxPower(s.cfg.Platform.CoresPerSocket, maxFreqOf(s.cfg))
 }
+
+// maxFreqOf is the machine's highest DVFS setting (per-config for
+// heterogeneous SKUs, the paper's 2.0 GHz by default).
+func maxFreqOf(cfg Config) float64 {
+	_, hi := cfg.Platform.FreqRange()
+	return hi
+}
+
+// FreqRange returns the machine's DVFS bounds; fallback assignments use
+// it instead of the paper-platform constants so they stay legal on
+// heterogeneous SKUs.
+func (s *Server) FreqRange() (lo, hi float64) { return s.cfg.Platform.FreqRange() }
 
 // IdlePowerW returns the all-idle managed-socket power.
 func (s *Server) IdlePowerW() float64 {
@@ -518,6 +538,16 @@ func (s *Server) Step(asg Assignment, loads []float64) (StepResult, error) {
 			continue
 		}
 		ist := inst.RunInterval(loads[i], states[i].cap, contention[i].Inflation, 1)
+		// The inter-tier network tax rides on every request that reached
+		// the log, so it shifts the whole reported latency distribution.
+		// Applied before the stale-scrape bookkeeping: a repeated line is
+		// a taxed line.
+		if tax := s.cfg.LatencyTaxMs; tax > 0 {
+			ist.P99Ms += tax
+			ist.P95Ms += tax
+			ist.MeanMs += tax
+			ist.MaxMs += tax
+		}
 		busyFrac := ist.BusySeconds // dt = 1 s
 		var busyCoreSeconds float64
 		for j, c := range states[i].cores {
@@ -671,12 +701,21 @@ func ratesOf(p service.Profile) pmc.Rates {
 // the paper's methodology for fixing Table II's targets. It returns the
 // p99 across the final two thirds of the run (the warm-up is skipped).
 func CalibrateQoSTarget(p service.Profile, cfg Config, seconds int, seed int64) float64 {
+	return CalibrateQoSTargetAt(p, cfg, p.MaxLoadRPS, seconds, seed)
+}
+
+// CalibrateQoSTargetAt is CalibrateQoSTarget at an explicit offered
+// load. Scenario worlds use it to fix per-tier targets at the
+// scenario's own peak for the service — on an edge SKU the profile's
+// full MaxLoadRPS may simply exceed the node, which would calibrate a
+// saturated (meaningless) target.
+func CalibrateQoSTargetAt(p service.Profile, cfg Config, loadRPS float64, seconds int, seed int64) float64 {
 	srv := NewServer(cfg, []ServiceSpec{{Profile: p, Seed: seed}})
 	cores := srv.ManagedCores()
-	asg := Assignment{PerService: []Allocation{{Cores: cores, FreqGHz: platform.MaxFreqGHz}}}
+	asg := Assignment{PerService: []Allocation{{Cores: cores, FreqGHz: maxFreqOf(cfg)}}}
 	var lat []float64
 	for t := 0; t < seconds; t++ {
-		r := srv.MustStep(asg, []float64{p.MaxLoadRPS})
+		r := srv.MustStep(asg, []float64{loadRPS})
 		if t >= seconds/3 {
 			lat = append(lat, r.Services[0].P99Ms)
 		}

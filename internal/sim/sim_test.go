@@ -248,3 +248,70 @@ func twos(n int) []float64 {
 	}
 	return v
 }
+
+func TestLatencyTax(t *testing.T) {
+	build := func(tax float64) *Server {
+		cfg := DefaultConfig()
+		cfg.LatencyTaxMs = tax
+		return NewServer(cfg, []ServiceSpec{{Profile: service.MustLookup("xapian"), QoSTargetMs: 20, Seed: 1}})
+	}
+	plain, taxed := build(0), build(4.5)
+	for step := 0; step < 5; step++ {
+		a := plain.MustStep(fullAlloc(plain), []float64{500}).Services[0]
+		b := taxed.MustStep(fullAlloc(taxed), []float64{500}).Services[0]
+		for _, pair := range [][2]float64{
+			{a.P99Ms, b.P99Ms}, {a.P95Ms, b.P95Ms}, {a.MeanMs, b.MeanMs}, {a.MaxMs, b.MaxMs},
+		} {
+			if got := pair[1] - pair[0]; math.Abs(got-4.5) > 1e-9 {
+				t.Fatalf("step %d: tax shifted latency by %v, want 4.5", step, got)
+			}
+		}
+		// Everything but the log lines is untouched by the tax.
+		if a.PMCs != b.PMCs || a.OfferedRPS != b.OfferedRPS {
+			t.Fatal("tax must only touch reported latencies")
+		}
+	}
+}
+
+func TestLatencyTaxValidation(t *testing.T) {
+	for _, tax := range []float64{math.NaN(), math.Inf(1), -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("tax %v must panic", tax)
+				}
+			}()
+			cfg := DefaultConfig()
+			cfg.LatencyTaxMs = tax
+			NewServer(cfg, nil)
+		}()
+	}
+}
+
+// TestHeterogeneousServer runs a 1-socket edge SKU with a capped DVFS
+// range end to end: managed cores come from socket 0, the reward
+// normalisers use the SKU's own ceiling, and steps run clean.
+func TestHeterogeneousServer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Platform = platform.Config{Sockets: 1, CoresPerSocket: 10, MinFreqGHz: 1.2, MaxFreqGHz: 1.6}
+	cfg.ManagedSocket = 0
+	srv := NewServer(cfg, []ServiceSpec{{Profile: service.MustLookup("masstree"), QoSTargetMs: 8, Seed: 3}})
+	if len(srv.ManagedCores()) != 10 {
+		t.Fatalf("managed cores = %d", len(srv.ManagedCores()))
+	}
+	if lo, hi := srv.FreqRange(); lo != 1.2 || hi != 1.6 {
+		t.Fatalf("freq range [%v,%v]", lo, hi)
+	}
+	big := NewServer(DefaultConfig(), []ServiceSpec{{Profile: service.MustLookup("masstree"), QoSTargetMs: 8, Seed: 3}})
+	if srv.MaxPowerW() >= big.MaxPowerW() {
+		t.Fatal("edge SKU must have a lower power ceiling than the paper node")
+	}
+	asg := Assignment{
+		PerService:  []Allocation{{Cores: srv.ManagedCores(), FreqGHz: 2.0}}, // clamped to 1.6
+		IdleFreqGHz: 1.2,
+	}
+	r := srv.MustStep(asg, []float64{800})
+	if got := r.Services[0].FreqGHz; math.Abs(got-1.6) > 1e-9 {
+		t.Fatalf("applied freq = %v, want the SKU cap 1.6", got)
+	}
+}
