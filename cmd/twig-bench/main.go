@@ -54,10 +54,16 @@ type Report struct {
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
-	// Kernel records the GEMM microkernel flavour the build selected at
-	// startup ("avx2" or "portable"), so a baseline comparison can tell
-	// a real regression from a kernel-availability difference.
+	// Kernel records the GEMM microkernel flavour dispatch selected at
+	// startup ("portable", "avx2", "avx2-fma" or "avx512f-fma"),
+	// CPUFeatures the instruction-set extensions the build detected
+	// (e.g. "avx2+fma+avx512f", "none") and FastMath whether the fused
+	// kernels were active for the whole run (-fast) — so a baseline
+	// comparison can tell a real regression from a kernel-availability
+	// difference.
 	Kernel      string   `json:"kernel"`
+	CPUFeatures string   `json:"cpu_features"`
+	FastMath    bool     `json:"fast_math"`
 	Parallelism int      `json:"parallelism"`
 	Short       bool     `json:"short"`
 	Results     []Result `json:"results"`
@@ -69,14 +75,18 @@ func main() {
 	out := flag.String("out", "", "write JSON report to this file (default stdout)")
 	baseline := flag.String("baseline", "", "compare against a committed report; exit 1 on regression")
 	maxRegress := flag.Float64("max-regress", 2.0, "ns/op ratio vs baseline that counts as a regression")
+	fast := flag.Bool("fast", false, "run the whole suite under the fused FMA/AVX-512 kernels (skips the separate _fast variant results)")
 	flag.Parse()
 
+	mat.SetFastMath(*fast)
 	rep := Report{
 		Schema:      2,
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		Kernel:      mat.KernelName(),
+		CPUFeatures: mat.CPUFeatures(),
+		FastMath:    mat.FastMath(),
 		Parallelism: mat.Parallelism(),
 		Short:       *short,
 	}
@@ -90,11 +100,24 @@ func main() {
 		btGemm, btTable3, btObserve = "25ms", "2x", "1x"
 	}
 
-	rep.Results = append(rep.Results, gemmSweep(btGemm)...)
+	rep.Results = append(rep.Results, gemmSweep(btGemm, "")...)
 	rep.Results = append(rep.Results, fleetSweep(btGemm)...)
-	rep.Results = append(rep.Results, benchTable3(btTable3))
+	rep.Results = append(rep.Results, trainSweep(btGemm)...)
+	rep.Results = append(rep.Results, benchTable3(btTable3, ""))
 	rep.Results = append(rep.Results, benchAgentObserve(btObserve))
 	rep.Results = append(rep.Results, benchFig5Cell(*short))
+
+	// Fast-vs-default shapes: unless the whole run was already fast,
+	// re-run the GEMM sweep and the Table III step under the fused
+	// kernels (silently absent on CPUs without FMA — the _fast names
+	// simply do not appear in the report).
+	if !*fast {
+		if mat.SetFastMath(true); mat.FastMath() {
+			rep.Results = append(rep.Results, gemmSweep(btGemm, "_fast")...)
+			rep.Results = append(rep.Results, benchTable3(btTable3, "_fast"))
+		}
+		mat.SetFastMath(false)
+	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -155,8 +178,9 @@ func runBest(reps int, name, benchtime string, fn func(b *testing.B)) Result {
 
 // gemmSweep benchmarks the tiled kernels over the real layer shapes of
 // the paper-size BDQ network (Table III row 1), serial like the
-// per-interval inference path.
-func gemmSweep(benchtime string) []Result {
+// per-interval inference path. suffix tags the result names ("" for the
+// default kernels, "_fast" for the fused re-run).
+func gemmSweep(benchtime, suffix string) []Result {
 	shapes := []struct{ m, k, n int }{
 		{64, 22, 512},  // shared0 forward, batch 64
 		{64, 512, 256}, // shared1 forward
@@ -172,7 +196,7 @@ func gemmSweep(benchtime string) []Result {
 		fillDet(b.Data, rng)
 		dst := mat.New(s.m, s.n)
 		flops := 2 * s.m * s.k * s.n
-		res := run(fmt.Sprintf("gemm/mul_%dx%dx%d", s.m, s.k, s.n), benchtime, nil, func(bb *testing.B) {
+		res := run(fmt.Sprintf("gemm/mul_%dx%dx%d%s", s.m, s.k, s.n, suffix), benchtime, nil, func(bb *testing.B) {
 			bb.ReportAllocs()
 			for i := 0; i < bb.N; i++ {
 				mat.Mul(dst, a, b)
@@ -189,7 +213,7 @@ func gemmSweep(benchtime string) []Result {
 	fillDet(g.Data, rng)
 	fillDet(w.Data, rng)
 	dw, gin := mat.New(512, 256), mat.New(64, 512)
-	res := run("gemm/multransa_512x64x256", benchtime, nil, func(bb *testing.B) {
+	res := run("gemm/multransa_512x64x256"+suffix, benchtime, nil, func(bb *testing.B) {
 		bb.ReportAllocs()
 		for i := 0; i < bb.N; i++ {
 			mat.MulTransA(dw, x, g)
@@ -197,7 +221,7 @@ func gemmSweep(benchtime string) []Result {
 	})
 	res.Metrics = map[string]float64{"gflops": float64(2*64*512*256) / res.NsPerOp}
 	results = append(results, res)
-	res = run("gemm/multransb_64x256x512", benchtime, nil, func(bb *testing.B) {
+	res = run("gemm/multransb_64x256x512"+suffix, benchtime, nil, func(bb *testing.B) {
 		bb.ReportAllocs()
 		for i := 0; i < bb.N; i++ {
 			mat.MulTransB(gin, g, w)
@@ -293,16 +317,115 @@ func fleetSweep(benchtime string) []Result {
 	return results
 }
 
+// lossSink keeps the train-sweep observes from being dead-code
+// eliminated.
+var lossSink float64
+
+// trainSweep measures the grouped training path: one warm Observe (one
+// gradient step) per fleet member, as S independent per-agent train
+// steps versus one pooled flush that stacks every member's minibatch
+// forward, TD-target forward and backward GEMMs into block-diagonal
+// grouped calls with fused flat Adam commits. Both paths take identical
+// gradient steps (the pooled path is bit-identical per member), so the
+// ratio isolates the batching win.
+func trainSweep(benchtime string) []Result {
+	spec := bdq.Spec{
+		StateDim:     2 * int(pmc.NumCounters),
+		Agents:       2,
+		Dims:         []int{18, 9},
+		SharedHidden: []int{32, 16},
+		BranchHidden: 8,
+	}
+	cfg := func(i int) bdq.AgentConfig {
+		return bdq.AgentConfig{Spec: spec, BatchSize: 8, ReplayCapacity: 256, Seed: int64(1 + i)}
+	}
+	state := make([]float64, spec.StateDim)
+	next := make([]float64, spec.StateDim)
+	rng := newDetRand()
+	fillDet(state, rng)
+	fillDet(next, rng)
+	tr := replay.Transition{
+		State:     state,
+		Actions:   []int{3, 4, 5, 6},
+		Rewards:   []float64{1, 1},
+		NextState: next,
+	}
+
+	var results []Result
+	for _, S := range []int{1, 8, 36} {
+		solo := make([]*bdq.Agent, S)
+		for i := range solo {
+			solo[i] = bdq.NewAgent(cfg(i))
+			for j := 0; j < 2*8; j++ { // past warmup: every further Observe trains
+				lossSink = solo[i].Observe(tr)
+			}
+		}
+		soloRes := runBest(3, fmt.Sprintf("fleet/train_solo_s%d", S), benchtime, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for s := 0; s < S; s++ {
+					lossSink = solo[s].Observe(tr)
+				}
+			}
+		})
+		soloPerAgent := soloRes.NsPerOp / float64(S)
+		soloRes.Metrics = map[string]float64{"ns_per_agent_train": soloPerAgent}
+		results = append(results, soloRes)
+
+		pool := bdq.NewAgentPool()
+		pooled := make([]*bdq.PooledAgent, S)
+		for i := range pooled {
+			pooled[i] = pool.Attach(bdq.NewAgent(cfg(i)))
+			for j := 0; j < 2*8; j++ {
+				lossSink = pooled[i].Observe(tr)
+			}
+		}
+		flushAll := func() {
+			for s := 0; s < S; s++ {
+				pooled[s].QueueObserve(tr)
+			}
+			pool.FlushStep()
+			for s := 0; s < S; s++ {
+				lossSink = pooled[s].TakeLoss()
+			}
+		}
+		flushAll() // warm the stacked training workspace
+		pooledRes := runBest(3, fmt.Sprintf("fleet/train_pooled_s%d", S), benchtime, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				flushAll()
+			}
+		})
+		pooledPerAgent := pooledRes.NsPerOp / float64(S)
+		pooledRes.Metrics = map[string]float64{
+			"ns_per_agent_train": pooledPerAgent,
+			"speedup_vs_solo":    soloPerAgent / pooledPerAgent,
+		}
+		results = append(results, pooledRes)
+	}
+	return results
+}
+
 // benchTable3 measures the Table III overhead rows; ns_per_op covers a
 // whole Table3 iteration, the metric isolates the gradient-descent step.
-func benchTable3(benchtime string) Result {
+// Best of 3 reps, like the fleet sweep — a single rep's us_per_step is
+// hostage to neighbour interference on shared hardware. Each rep's
+// metric is its final calibrated measurement (not the low-N warmup
+// probes), and the best rep wins by that metric.
+func benchTable3(benchtime, suffix string) Result {
 	var usPerStep float64
-	res := run("table3/gradient_descent", benchtime, nil, func(b *testing.B) {
-		r := experiments.Table3(b.N)
-		usPerStep = float64(r.GradientDescent.Microseconds())
-	})
-	res.Metrics = map[string]float64{"us_per_step": usPerStep}
-	return res
+	var best Result
+	for rep := 0; rep < 3; rep++ {
+		res := run("table3/gradient_descent"+suffix, benchtime, nil, func(b *testing.B) {
+			r := experiments.Table3(b.N)
+			usPerStep = float64(r.GradientDescent.Microseconds())
+		})
+		if rep == 0 || usPerStep < best.Metrics["us_per_step"] {
+			res.Metrics = map[string]float64{"us_per_step": usPerStep}
+			best = res
+		}
+	}
+	return best
 }
 
 // benchAgentObserve measures the warm steady-state per-interval learning

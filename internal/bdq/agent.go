@@ -369,10 +369,22 @@ func (a *Agent) trainTargets(targetNext *Output, n int) {
 // Gradients are already zero: parameters start that way and the
 // optimiser step in trainCommit clears them as it consumes them.
 func (a *Agent) trainBackprop(targetNext *Output, n int) float64 {
+	ws := a.train
+	out := a.online.Forward(ws.states, true)
+	loss := a.trainLossGrad(out, targetNext, ws.gradQ, n)
+	a.online.Backward(ws.gradQ)
+	return loss
+}
+
+// trainLossGrad builds the Q-gradient and TD errors from a train-mode
+// forward over ws.states — trainBackprop's loss loop, factored out so
+// the pooled path can point it at band views of stacked outputs (and
+// a stacked gradient) while keeping every member's arithmetic exact.
+// gradQ is overwritten; the (normalised) minibatch loss is returned.
+func (a *Agent) trainLossGrad(out, targetNext *Output, gradQ [][]*mat.Matrix, n int) float64 {
 	spec := a.cfg.Spec
 	K, D := spec.Agents, len(spec.Dims)
 	ws := a.train
-	out := a.online.Forward(ws.states, true)
 	var loss float64
 	for b := range ws.tdErr {
 		ws.tdErr[b] = 0
@@ -380,7 +392,7 @@ func (a *Agent) trainBackprop(targetNext *Output, n int) float64 {
 	denom := float64(n * K * D)
 	for k := 0; k < K; k++ {
 		for d := 0; d < D; d++ {
-			g := ws.gradQ[k][d]
+			g := gradQ[k][d]
 			g.Zero()
 			for b := 0; b < n; b++ {
 				act := ws.batch.Transitions[b].Actions[k*D+d]
@@ -401,7 +413,6 @@ func (a *Agent) trainBackprop(targetNext *Output, n int) float64 {
 			}
 		}
 	}
-	a.online.Backward(ws.gradQ)
 	return loss / denom
 }
 
@@ -410,6 +421,22 @@ func (a *Agent) trainBackprop(targetNext *Output, n int) float64 {
 func (a *Agent) trainCommit() {
 	ws := a.train
 	a.opt.StepAndZeroGrad(a.online.Params())
+	a.online.noteWeightsChanged()
+	a.buffer.UpdatePriorities(ws.batch.Indices, ws.tdErr)
+
+	a.trainSteps++
+	if a.trainSteps%a.cfg.TargetSync == 0 {
+		a.target.CopyValuesFrom(a.online)
+	}
+}
+
+// trainCommitPooled is trainCommit with the optimiser step fused into
+// one pass over the agent's contiguous arena slabs (Adam's flat form is
+// bitwise identical to the per-param sweep — the slabs are tightly
+// packed in Params() order). Only pool members have slabs to pass.
+func (a *Agent) trainCommitPooled(value, grad, m, v []float64) {
+	ws := a.train
+	a.opt.StepAndZeroGradFlat(a.online.Params(), value, grad, m, v)
 	a.online.noteWeightsChanged()
 	a.buffer.UpdatePriorities(ws.batch.Indices, ws.tdErr)
 

@@ -89,10 +89,13 @@ type Network struct {
 	denses []*nn.Dense // cached dense-layer enumeration for the pool
 
 	// weightEpoch counts parameter mutations (optimiser steps, target
-	// syncs, loads, transfers). The pool's persistent packed panels are
-	// keyed by it, so a stale pack can never be used after the weights
-	// change through *any* path.
+	// syncs, loads, transfers). The persistent packed panels are keyed
+	// by it, so a stale pack can never be used after the weights change
+	// through *any* path.
 	weightEpoch int
+	// packEpoch is the weight epoch the dense layers' persistent packs
+	// were last rebuilt at (−1 before the first pack).
+	packEpoch int
 
 	// noRescale disables the 1/K and 1/D gradient rescaling so tests
 	// can compare Backward against exact finite differences.
@@ -125,7 +128,7 @@ func NewNetwork(spec Spec, rng *rand.Rand) *Network {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
-	n := &Network{spec: spec}
+	n := &Network{spec: spec, packEpoch: -1}
 
 	var layers []nn.Layer
 	in := spec.StateDim
@@ -199,6 +202,7 @@ func (n *Network) fwdWorkspace(batch int) *fwdWS {
 // the same batch size. Callers that need Q-values to survive longer must
 // clone them (see Agent.QValues).
 func (n *Network) Forward(states *mat.Matrix, train bool) *Output {
+	n.ensurePacks()
 	z := n.shared.Forward(states, train)
 	n.lastShared = z
 	if n.lastAdvHid == nil {
@@ -369,6 +373,22 @@ func (n *Network) Params() []*nn.Param {
 // agent bumps after optimiser steps and checkpoint/weight loads).
 func (n *Network) noteWeightsChanged() { n.weightEpoch++ }
 
+// ensurePacks refreshes every dense layer's persistent packed weight
+// panels to the current weight epoch, so weights are packed exactly
+// once per mutation instead of once per product. Forward calls it; the
+// pool's grouped products (netPack) share the same panels. Packed
+// products are bit-identical to the per-call-packing path
+// (mat.MulPackedBiasAct's contract), so this changes no result.
+func (n *Network) ensurePacks() {
+	if n.packEpoch == n.weightEpoch {
+		return
+	}
+	for _, d := range n.Denses() {
+		d.RefreshPack()
+	}
+	n.packEpoch = n.weightEpoch
+}
+
 // Denses enumerates every dense layer in a deterministic order (trunk,
 // value streams, advantage hiddens, advantage heads) — the traversal
 // the pooled forward and its pack caches share. Cached; callers must
@@ -408,6 +428,16 @@ func (n *Network) Denses() []*nn.Dense {
 // order (dropout layers, identity in eval mode, are skipped).
 func (n *Network) trunkDenses() []*nn.Dense {
 	return n.Denses()[:len(n.spec.SharedHidden)]
+}
+
+// trunkDropout returns the dropout layer following trunk dense li, or
+// nil when the spec disables dropout. The trunk interleaves
+// [dense, dropout] pairs, so the layer sits at index 2·li+1.
+func (n *Network) trunkDropout(li int) *nn.Dropout {
+	if n.spec.Dropout <= 0 {
+		return nil
+	}
+	return n.shared.Layers[2*li+1].(*nn.Dropout)
 }
 
 // ZeroGrad clears all parameter gradients.

@@ -136,6 +136,9 @@ func TestNetworkGradientCheck(t *testing.T) {
 		}
 	}
 	lossAt := func() float64 {
+		// The loop below pokes parameter values directly; announce the
+		// mutation so Forward repacks its persistent weight panels.
+		net.noteWeightsChanged()
 		out := net.Forward(x, false)
 		var l float64
 		for k := range out.Q {

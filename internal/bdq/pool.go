@@ -39,7 +39,9 @@ type AgentPool struct {
 	arena *nn.Arena
 	stack map[int]*stackWS // keyed by stacked row count
 
-	selScratch []*PooledAgent // flushSelectLocked's member list, reused
+	selScratch  []*PooledAgent // flushSelectLocked's member list, reused
+	warmScratch []*PooledAgent // flushTrainLocked's stored-and-warm list, reused
+	actScratch  []*PooledAgent // flushTrainLocked's per-round active list, reused
 }
 
 // PooledAgent is an Agent whose batched operations route through an
@@ -56,6 +58,10 @@ type PooledAgent struct {
 	targetPack *netPack
 	closed     bool
 
+	// cached arena slab views of the online slot, for the fused flat
+	// optimiser pass (valid until Close releases the slot)
+	onlineVal, onlineGrad, onlineM, onlineV []float64
+
 	// queued work and results, guarded by pool.mu
 	hasObs    bool
 	obs       replay.Transition
@@ -68,38 +74,31 @@ type PooledAgent struct {
 	loss      float64
 }
 
-// netPack caches one network's packed weight panels, keyed by the
-// network's weight epoch so any parameter mutation forces a repack.
-// groups holds, per Denses() position, the ready-made grouped-GEMM
-// operand (panels + bias) so the per-layer stacking loop is a struct
-// copy instead of a map lookup.
+// netPack caches one network's grouped-GEMM operands, keyed by the
+// network's weight epoch so any parameter mutation forces a rebuild.
+// The packed panels themselves live on the dense layers (refreshed by
+// Network.ensurePacks), shared with the network's own Forward — groups
+// holds, per Denses() position, the ready-made operand (panels + bias)
+// so the per-layer stacking loop is a struct copy instead of a lookup.
 type netPack struct {
 	epoch  int
-	packs  map[*nn.Dense]*mat.PackedB
 	groups []mat.Group
 }
 
-func newNetPack() *netPack {
-	return &netPack{epoch: -1, packs: make(map[*nn.Dense]*mat.PackedB)}
-}
+func newNetPack() *netPack { return &netPack{epoch: -1} }
 
 func (np *netPack) refresh(n *Network) {
 	if np.epoch == n.weightEpoch {
 		return
 	}
+	n.ensurePacks()
 	ds := n.Denses()
 	if cap(np.groups) < len(ds) {
 		np.groups = make([]mat.Group, len(ds))
 	}
 	np.groups = np.groups[:len(ds)]
 	for i, d := range ds {
-		pb := np.packs[d]
-		if pb == nil {
-			pb = &mat.PackedB{}
-			np.packs[d] = pb
-		}
-		pb.RepackFrom(d.W.Value)
-		np.groups[i] = mat.Group{Packed: pb, Bias: d.B.Value.Data}
+		np.groups[i] = mat.Group{Packed: d.Pack(), Bias: d.B.Value.Data}
 	}
 	np.epoch = n.weightEpoch
 }
@@ -128,6 +127,51 @@ type stackWS struct {
 	lgEpochs []int
 	lgTarget bool
 	lgValid  bool
+
+	train *trainStack // lazily built grouped-training scratch
+}
+
+// trainStack holds the stacked train-mode forward activations and the
+// stacked backward scratch for one stacked row count — the pooled
+// equivalents of each member's layer caches and Network.bwdWS. The
+// train-mode forward needs its own output (ts.q) and per-stream value
+// hiddens because the TD targets keep reading the eval workspace
+// (ws.out) while the loss consumes the train-mode Q.
+type trainStack struct {
+	q     *Output          // train-mode stacked Q
+	gradQ [][]*mat.Matrix  // [K][D] rows×Dims[d] loss gradient
+	z     *mat.Matrix      // trunk output feeding the streams (set per forward)
+
+	drop []*mat.Matrix // per trunk layer: post-dropout activations
+	mask []*mat.Matrix // per trunk layer: inverted-dropout masks
+	valHid []*mat.Matrix // per value stream: rows×BranchHidden hidden
+
+	sharedGrad *mat.Matrix   // rows×repr gradient entering the trunk
+	gv         *mat.Matrix   // rows×1 value-stream gradient
+	combined   *mat.Matrix   // rows×BranchHidden, summed over agents
+	centered   []*mat.Matrix // per dimension: rows×Dims[d]
+	gBH1, gBH2 *mat.Matrix   // rows×BranchHidden backward scratch
+	gRepr      *mat.Matrix   // rows×repr upstream-gradient scratch
+	gTrunk     []*mat.Matrix // per trunk layer: dropout-masked gradient
+	gmTrunk    []*mat.Matrix // per trunk layer: ReLU-masked gradient
+	gTrunkIn   []*mat.Matrix // per trunk layer li>0: rows×h_{li−1} upstream
+	colSums    []float64     // widest dense output
+	wg, wv     []*mat.Matrix // per-member W.Grad / W.Value operand lists
+
+	bands []trainBand   // cached per-member band views
+	xband []*mat.Matrix // per-member band views of ws.x
+
+	// Per trunk layer, per member: band views for the train-forward
+	// dropout sweep (built only when the spec has Dropout).
+	dropBand, maskBand, trunkBand [][]*mat.Matrix
+}
+
+// trainBand is the band view of member s over the stacked train-mode
+// output, eval target output and loss gradient — the per-member shapes
+// trainTargets/trainLossGrad consume.
+type trainBand struct {
+	q, tgt *Output
+	gq     [][]*mat.Matrix
 }
 
 // NewAgentPool returns an empty pool; the first Attach fixes the
@@ -160,6 +204,7 @@ func (p *AgentPool) Attach(a *Agent) *PooledAgent {
 	}
 	p.arena.Adopt(pa.slotOnline, a.online.Params())
 	p.arena.Adopt(pa.slotTarget, a.target.Params())
+	pa.onlineVal, pa.onlineGrad, pa.onlineM, pa.onlineV = p.arena.SlotSlabs(pa.slotOnline)
 	p.members = append(p.members, pa)
 	return pa
 }
@@ -223,6 +268,10 @@ func (pa *PooledAgent) QueueObserve(t replay.Transition) {
 	p := pa.pool
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	pa.queueObserveLocked(t)
+}
+
+func (pa *PooledAgent) queueObserveLocked(t replay.Transition) {
 	pa.ensureOpen()
 	pa.obs = t
 	pa.hasObs = true
@@ -235,12 +284,16 @@ func (pa *PooledAgent) QueueSelect(state []float64, greedy bool) {
 	p := pa.pool
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	pa.queueSelectLocked(state, greedy)
+}
+
+func (pa *PooledAgent) queueSelectLocked(state []float64, greedy bool) {
 	pa.ensureOpen()
-	if len(state) != p.spec.StateDim {
-		panic(fmt.Sprintf("bdq: state dim %d != %d", len(state), p.spec.StateDim))
+	if len(state) != pa.pool.spec.StateDim {
+		panic(fmt.Sprintf("bdq: state dim %d != %d", len(state), pa.pool.spec.StateDim))
 	}
 	if pa.selState == nil {
-		pa.selState = make([]float64, p.spec.StateDim)
+		pa.selState = make([]float64, pa.pool.spec.StateDim)
 	}
 	copy(pa.selState, state)
 	pa.selGreedy = greedy
@@ -275,28 +328,57 @@ func (pa *PooledAgent) TakeLoss() float64 {
 	return pa.loss
 }
 
-// Observe is the pooled single-agent form: queue, flush, take. When
-// other members have queued work it is flushed too (the batched path
-// is order-preserving per member, so this is safe).
+// Observe is the pooled single-agent form: queue, flush, take, under
+// one lock acquisition. When other members have queued work it is
+// flushed too (the batched path is order-preserving per member, so
+// this is safe).
 func (pa *PooledAgent) Observe(t replay.Transition) float64 {
-	pa.QueueObserve(t)
-	pa.pool.FlushStep()
-	return pa.TakeLoss()
+	p := pa.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pa.queueObserveLocked(t)
+	p.flushTrainLocked()
+	p.flushSelectLocked()
+	return pa.loss
 }
 
 // SelectActions is the pooled ε-greedy selection for one member.
 func (pa *PooledAgent) SelectActions(state []float64) [][]int {
-	pa.QueueSelect(state, false)
-	pa.pool.FlushStep()
-	return pa.TakeActions()
+	return pa.selectOneLocked(state, false)
 }
 
 // SelectGreedy is the pooled pure-exploitation selection for one
 // member (no step advance, no exploration draws).
 func (pa *PooledAgent) SelectGreedy(state []float64) [][]int {
-	pa.QueueSelect(state, true)
-	pa.pool.FlushStep()
-	return pa.TakeActions()
+	return pa.selectOneLocked(state, true)
+}
+
+// selectOneLocked is the combined queue-flush-take selection path:
+// identical work to QueueSelect + FlushStep + TakeActions, but with a
+// single lock acquisition. When no other member has a selection
+// queued, the solo fall-through runs directly on the caller's state —
+// no queue round-trip, no state copy.
+func (pa *PooledAgent) selectOneLocked(state []float64, greedy bool) [][]int {
+	p := pa.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pa.ensureOpen()
+	if len(state) != p.spec.StateDim {
+		panic(fmt.Sprintf("bdq: state dim %d != %d", len(state), p.spec.StateDim))
+	}
+	p.flushTrainLocked()
+	for _, m := range p.members {
+		if m.hasSel {
+			// Another member queued a selection: batch with it through
+			// the grouped flush, exactly as FlushStep would.
+			pa.queueSelectLocked(state, greedy)
+			p.flushSelectLocked()
+			acts := pa.acts
+			pa.acts = nil
+			return acts
+		}
+	}
+	return p.selectSingle(pa, state, greedy)
 }
 
 // FlushStep runs all queued work: first the batched training phase
@@ -313,7 +395,7 @@ func (p *AgentPool) FlushStep() {
 }
 
 func (p *AgentPool) flushTrainLocked() {
-	var warm []*PooledAgent
+	warm := p.warmScratch[:0]
 	for _, m := range p.members {
 		if !m.hasObs {
 			continue
@@ -325,6 +407,7 @@ func (p *AgentPool) flushTrainLocked() {
 		}
 		m.obs = replay.Transition{}
 	}
+	p.warmScratch = warm
 	if len(warm) == 0 {
 		return
 	}
@@ -336,14 +419,24 @@ func (p *AgentPool) flushTrainLocked() {
 	}
 	n := p.batch
 	for round := 0; round < maxRounds; round++ {
-		var act []*PooledAgent
+		act := p.actScratch[:0]
 		for _, m := range warm {
 			if m.Agent.cfg.TrainPerStep > round {
 				act = append(act, m)
 			}
 		}
+		p.actScratch = act
 		if len(act) == 0 {
 			break
+		}
+		if len(act) == 1 {
+			// A lone warm member has nothing to batch against: the
+			// grouped stacking would only add copy and packing overhead.
+			// Run the monolithic step — bit-identical by construction
+			// (the pooled phases replicate exactly this sequence).
+			m := act[0]
+			m.loss = m.Agent.TrainStep()
+			continue
 		}
 		// Phase 1: per-member minibatch sampling (own RNG streams).
 		for _, m := range act {
@@ -353,24 +446,42 @@ func (p *AgentPool) flushTrainLocked() {
 			}
 		}
 		// Phase 2+3: batched online forward on s′, per-member argmax.
+		// stackedEval writes into ws.out, which ts.bands[s].tgt views:
+		// until phase 4 overwrites it, the tgt bands hold the online
+		// outputs the argmax reads.
 		ws := p.stackWorkspace(len(act) * n)
+		ts := ws.trainStack(p, len(act))
 		for s, m := range act {
-			x := ws.x.RowsView(s*n, (s+1)*n)
-			x.CopyFrom(m.Agent.train.next)
+			ts.xband[s].CopyFrom(m.Agent.train.next)
 		}
-		onlineOut := p.stackedEval(act, false, ws, n)
+		p.stackedEval(act, false, ws, n)
 		for s, m := range act {
-			m.Agent.trainArgmax(bandOutput(onlineOut, s, n), n)
+			m.Agent.trainArgmax(ts.bands[s].tgt, n)
 		}
 		// Phase 4: batched target forward on s′ (same stacked input).
-		targetOut := p.stackedEval(act, true, ws, n)
-		// Phases 5–7: per-member targets, train-mode backprop (Dropout
-		// draws stay in each member's own stream) and commit.
+		p.stackedEval(act, true, ws, n)
+		// Phase 5: per-member bootstrap targets from the target bands.
 		for s, m := range act {
-			tv := bandOutput(targetOut, s, n)
-			m.Agent.trainTargets(tv, n)
-			m.loss = m.Agent.trainBackprop(tv, n)
-			m.Agent.trainCommit()
+			m.Agent.trainTargets(ts.bands[s].tgt, n)
+		}
+		// Phase 6: batched train-mode forward on s (grouped GEMMs, with
+		// each member's Dropout draws taken from its own stream in its
+		// solo order), then per-member loss and Q-gradient extraction.
+		for s, m := range act {
+			ts.xband[s].CopyFrom(m.Agent.train.states)
+		}
+		p.stackedTrainForward(act, ws, ts, n)
+		for s, m := range act {
+			m.loss = m.Agent.trainLossGrad(ts.bands[s].q, ts.bands[s].tgt, ts.bands[s].gq, n)
+		}
+		// Phase 7: batched backward — per-member mask/bias sweeps plus
+		// grouped weight-gradient and upstream-gradient GEMMs, in each
+		// member's exact solo operation order.
+		p.stackedBackward(act, ws, ts, n)
+		// Phase 8: per-member commit, with the Adam step fused into one
+		// pass over each member's contiguous arena slabs.
+		for _, m := range act {
+			m.Agent.trainCommitPooled(m.onlineVal, m.onlineGrad, m.onlineM, m.onlineV)
 		}
 	}
 }
@@ -384,6 +495,12 @@ func (p *AgentPool) flushSelectLocked() {
 	}
 	p.selScratch = sel
 	if len(sel) == 0 {
+		return
+	}
+	if len(sel) == 1 {
+		m := sel[0]
+		m.acts = p.selectSingle(m, m.selState, m.selGreedy)
+		m.hasSel = false
 		return
 	}
 	ws := p.stackWorkspace(len(sel))
@@ -413,6 +530,34 @@ func (p *AgentPool) flushSelectLocked() {
 		m.acts = acts
 		m.hasSel = false
 	}
+}
+
+// selectSingle is the lone-selector fall-through: skip the grouped
+// stacking and run the member's own eval forward (itself on persistent
+// packed panels), writing the argmax into the double-buffered action
+// storage — the solo path minus its per-call allocations, bit-identical
+// to both the solo and grouped paths.
+func (p *AgentPool) selectSingle(m *PooledAgent, state []float64, greedy bool) [][]int {
+	out := m.Agent.online.Forward(m.Agent.stateInput(state), false)
+	K, D := p.spec.Agents, len(p.spec.Dims)
+	m.actsFlip ^= 1
+	acts := m.actsBuf[m.actsFlip]
+	if acts == nil {
+		acts = make([][]int, K)
+		for k := range acts {
+			acts[k] = make([]int, D)
+		}
+		m.actsBuf[m.actsFlip] = acts
+	}
+	for k := 0; k < K; k++ {
+		for d := 0; d < D; d++ {
+			acts[k][d] = mat.Argmax(out.Q[k][d].Row(0))
+		}
+	}
+	if !greedy {
+		acts = m.Agent.applyExploration(acts)
+	}
+	return acts
 }
 
 // stackWorkspace returns the grouped-forward workspace for the given
@@ -581,6 +726,338 @@ func (ws *stackWS) refreshLayerGroups(members []*PooledAgent, pks []*netPack, ta
 	ws.lgValid = true
 }
 
+// trainStack returns the grouped-training scratch bound to this
+// stacked workspace, building it on first use. The stacked row count
+// fixes the member count (rows = members × pool batch), so the band
+// views are carved once.
+func (ws *stackWS) trainStack(p *AgentPool, members int) *trainStack {
+	if ws.train != nil {
+		return ws.train
+	}
+	spec := p.spec
+	rows := ws.x.Rows
+	n := p.batch
+	T := len(spec.SharedHidden)
+	repr := spec.SharedHidden[T-1]
+	numValues := spec.Agents
+	if spec.SharedValue {
+		numValues = 1
+	}
+	ts := &trainStack{
+		q:          &Output{Q: make([][]*mat.Matrix, spec.Agents)},
+		gradQ:      make([][]*mat.Matrix, spec.Agents),
+		sharedGrad: mat.New(rows, repr),
+		gv:         mat.New(rows, 1),
+		combined:   mat.New(rows, spec.BranchHidden),
+		centered:   make([]*mat.Matrix, len(spec.Dims)),
+		gBH1:       mat.New(rows, spec.BranchHidden),
+		gBH2:       mat.New(rows, spec.BranchHidden),
+		gRepr:      mat.New(rows, repr),
+	}
+	for k := range ts.q.Q {
+		ts.q.Q[k] = make([]*mat.Matrix, len(spec.Dims))
+		ts.gradQ[k] = make([]*mat.Matrix, len(spec.Dims))
+		for d, na := range spec.Dims {
+			ts.q.Q[k][d] = mat.New(rows, na)
+			ts.gradQ[k][d] = mat.New(rows, na)
+		}
+	}
+	maxOut := spec.BranchHidden
+	for _, h := range spec.SharedHidden {
+		if h > maxOut {
+			maxOut = h
+		}
+	}
+	for d, na := range spec.Dims {
+		ts.centered[d] = mat.New(rows, na)
+		if na > maxOut {
+			maxOut = na
+		}
+	}
+	ts.colSums = make([]float64, maxOut)
+	for li, h := range spec.SharedHidden {
+		if spec.Dropout > 0 {
+			ts.drop = append(ts.drop, mat.New(rows, h))
+			ts.mask = append(ts.mask, mat.New(rows, h))
+			ts.gTrunk = append(ts.gTrunk, mat.New(rows, h))
+		}
+		ts.gmTrunk = append(ts.gmTrunk, mat.New(rows, h))
+		if li > 0 {
+			ts.gTrunkIn = append(ts.gTrunkIn, mat.New(rows, spec.SharedHidden[li-1]))
+		} else {
+			ts.gTrunkIn = append(ts.gTrunkIn, nil)
+		}
+	}
+	for v := 0; v < numValues; v++ {
+		ts.valHid = append(ts.valHid, mat.New(rows, spec.BranchHidden))
+	}
+	ts.bands = make([]trainBand, members)
+	ts.xband = make([]*mat.Matrix, members)
+	for s := range ts.bands {
+		ts.bands[s] = trainBand{
+			q:   bandOutput(ts.q, s, n),
+			tgt: bandOutput(ws.out, s, n),
+			gq:  bandGradQ(ts.gradQ, s, n),
+		}
+		ts.xband[s] = ws.x.RowsView(s*n, (s+1)*n)
+	}
+	if spec.Dropout > 0 {
+		ts.dropBand = make([][]*mat.Matrix, T)
+		ts.maskBand = make([][]*mat.Matrix, T)
+		ts.trunkBand = make([][]*mat.Matrix, T)
+		for li := 0; li < T; li++ {
+			ts.dropBand[li] = make([]*mat.Matrix, members)
+			ts.maskBand[li] = make([]*mat.Matrix, members)
+			ts.trunkBand[li] = make([]*mat.Matrix, members)
+			for s := 0; s < members; s++ {
+				r0, r1 := s*n, (s+1)*n
+				ts.dropBand[li][s] = ts.drop[li].RowsView(r0, r1)
+				ts.maskBand[li][s] = ts.mask[li].RowsView(r0, r1)
+				ts.trunkBand[li][s] = ws.trunk[li].RowsView(r0, r1)
+			}
+		}
+	}
+	ws.train = ts
+	return ts
+}
+
+// stackedTrainForward runs the train-mode forward of every member's
+// online network over the stacked minibatch states in ws.x: grouped
+// GEMMs for every dense layer, per-member-band Dropout (each member's
+// RNG draws taken from its own stream in its solo order — row-major
+// per layer, trunk layer 0 before layer 1), and the dueling assembly
+// into ts.q. Each member's band is bit-identical to its own
+// Forward(states, true).
+func (p *AgentPool) stackedTrainForward(act []*PooledAgent, ws *stackWS, ts *trainStack, rowsPer int) {
+	spec := p.spec
+	T := len(spec.SharedHidden)
+	K, D := spec.Agents, len(spec.Dims)
+	numValues := K
+	if spec.SharedValue {
+		numValues = 1
+	}
+	if cap(ws.pks) < len(act) {
+		ws.pks = make([]*netPack, len(act))
+	}
+	pks := ws.pks[:len(act)]
+	for s, m := range act {
+		pks[s] = m.pack(false)
+	}
+	ref := act[0].Agent.online.Denses()
+	ws.refreshLayerGroups(act, pks, false, len(ref))
+	layer := func(dst, src *mat.Matrix, idx int) {
+		var a mat.Activation = mat.ActIdentity
+		if ref[idx].FuseReLU {
+			a = mat.ActReLU
+		}
+		mat.MulGroupedBiasAct(dst, src, rowsPer, ws.lgGroups[idx], a)
+	}
+
+	cur := ws.x
+	for li := 0; li < T; li++ {
+		layer(ws.trunk[li], cur, li)
+		cur = ws.trunk[li]
+		if spec.Dropout > 0 {
+			for s, m := range act {
+				m.Agent.online.trunkDropout(li).ApplyTrain(
+					ts.dropBand[li][s], ts.maskBand[li][s], ts.trunkBand[li][s])
+			}
+			cur = ts.drop[li]
+		}
+	}
+	ts.z = cur
+	for v := 0; v < numValues; v++ {
+		layer(ts.valHid[v], cur, T+2*v)
+		layer(ws.vals[v], ts.valHid[v], T+2*v+1)
+	}
+	for d := 0; d < D; d++ {
+		layer(ws.advHid[d], cur, T+2*numValues+d)
+	}
+	for k := 0; k < K; k++ {
+		v := ws.vals[0]
+		if !spec.SharedValue {
+			v = ws.vals[k]
+		}
+		for d := 0; d < D; d++ {
+			layer(ws.advScr[d], ws.advHid[d], T+2*numValues+D+k*D+d)
+			a := ws.advScr[d]
+			q := ts.q.Q[k][d]
+			a.RowMeansInto(ws.means)
+			for b := 0; b < a.Rows; b++ {
+				vb := v.At(b, 0)
+				arow := a.Row(b)
+				qrow := q.Row(b)
+				for j := range qrow {
+					qrow[j] = vb + arow[j] - ws.means[b]
+				}
+			}
+		}
+	}
+}
+
+// groupedDenseBackward replicates Dense.Backward for the dense at
+// Denses() position idx of every active member over stacked bands: the
+// per-member mask/column-sum sweep keeps each member's solo arithmetic
+// (and accumulates its bias gradient), then one grouped GEMM
+// accumulates every member's weight gradient and one more computes the
+// stacked upstream gradient. lastOut/gm are the ReLU mask source and
+// masked-gradient buffer (nil for linear layers); gradIn nil skips the
+// upstream product (trunk layer 0, whose input gradient is unread).
+func (p *AgentPool) groupedDenseBackward(act []*PooledAgent, ts *trainStack, idx int, lastX, lastOut, g, gm, gradIn *mat.Matrix, n int) {
+	fuse := lastOut != nil
+	width := g.Cols
+	cs := ts.colSums[:width]
+	geff := g
+	if fuse {
+		geff = gm
+	}
+	for s, m := range act {
+		dn := m.Agent.online.Denses()[idx]
+		r0 := s * n
+		if fuse {
+			// Dense.Backward's fused sweep: mask by "output > 0" and
+			// build the bias column sums row-major, per member band.
+			for j := range cs {
+				cs[j] = 0
+			}
+			for i := r0; i < r0+n; i++ {
+				grow := g.Row(i)
+				yrow := lastOut.Row(i)
+				mrow := gm.Row(i)
+				for j, v := range grow {
+					if yrow[j] > 0 {
+						mrow[j] = v
+						cs[j] += v
+					} else {
+						mrow[j] = 0
+					}
+				}
+			}
+		} else {
+			gb := mat.Matrix{Rows: n, Cols: width, Data: g.Data[r0*width : (r0+n)*width]}
+			gb.ColSumsInto(cs)
+		}
+		mat.Axpy(1, cs, dn.B.Grad.Data)
+	}
+	wg := ts.wg[:0]
+	for _, m := range act {
+		wg = append(wg, m.Agent.online.Denses()[idx].W.Grad)
+	}
+	ts.wg = wg
+	mat.MulGroupedTransAAcc(wg, lastX, geff, n)
+	if gradIn == nil {
+		return
+	}
+	wv := ts.wv[:0]
+	for _, m := range act {
+		wv = append(wv, m.Agent.online.Denses()[idx].W.Value)
+	}
+	ts.wv = wv
+	mat.MulGroupedTransB(gradIn, geff, n, wv)
+}
+
+// stackedBackward replicates Network.Backward for every member band
+// simultaneously: value streams, centred advantage gradients with the
+// 1/K rescale into the shared advantage hidden, the 1/D rescale, and
+// the trunk in reverse through each member's dropout masks — every
+// per-band op in the member's exact solo order, every GEMM grouped
+// block-diagonally.
+func (p *AgentPool) stackedBackward(act []*PooledAgent, ws *stackWS, ts *trainStack, n int) {
+	spec := p.spec
+	rows := len(act) * n
+	T := len(spec.SharedHidden)
+	K := float64(spec.Agents)
+	D := float64(len(spec.Dims))
+	numValues := spec.Agents
+	if spec.SharedValue {
+		numValues = 1
+	}
+	z := ts.z
+	ts.sharedGrad.Zero()
+
+	// Value streams: dV[b] = Σ_d Σ_a gradQ[k][d][b][a]; with SharedValue
+	// the single stream accumulates every agent's gradient.
+	valueStream := func(v int) {
+		p.groupedDenseBackward(act, ts, T+2*v+1, ts.valHid[v], nil, ts.gv, nil, ts.gBH1, n)
+		p.groupedDenseBackward(act, ts, T+2*v, z, ts.valHid[v], ts.gBH1, ts.gBH2, ts.gRepr, n)
+		mat.Add(ts.sharedGrad, ts.sharedGrad, ts.gRepr)
+	}
+	if spec.SharedValue {
+		gv := ts.gv
+		gv.Zero()
+		for k := 0; k < spec.Agents; k++ {
+			for d := range spec.Dims {
+				g := ts.gradQ[k][d]
+				for r := 0; r < rows; r++ {
+					gv.Data[r] += mat.Sum(g.Row(r))
+				}
+			}
+		}
+		valueStream(0)
+	} else {
+		for k := 0; k < spec.Agents; k++ {
+			gv := ts.gv
+			gv.Zero()
+			for d := range spec.Dims {
+				g := ts.gradQ[k][d]
+				for r := 0; r < rows; r++ {
+					gv.Data[r] += mat.Sum(g.Row(r))
+				}
+			}
+			valueStream(k)
+		}
+	}
+
+	// Advantage modules: centred gradients, heads in agent order, 1/K
+	// before the shared hidden layer.
+	for d := range spec.Dims {
+		combined := ts.combined
+		combined.Zero()
+		for k := 0; k < spec.Agents; k++ {
+			g := ts.gradQ[k][d]
+			centered := ts.centered[d]
+			g.RowMeansInto(ws.means)
+			for r := 0; r < rows; r++ {
+				grow := g.Row(r)
+				crow := centered.Row(r)
+				for j := range crow {
+					crow[j] = grow[j] - ws.means[r]
+				}
+			}
+			p.groupedDenseBackward(act, ts, T+2*numValues+len(spec.Dims)+k*len(spec.Dims)+d,
+				ws.advHid[d], nil, centered, nil, ts.gBH1, n)
+			mat.Add(combined, combined, ts.gBH1)
+		}
+		combined.Scale(1 / K)
+		p.groupedDenseBackward(act, ts, T+2*numValues+d, z, ws.advHid[d], combined, ts.gBH2, ts.gRepr, n)
+		mat.Add(ts.sharedGrad, ts.sharedGrad, ts.gRepr)
+	}
+
+	ts.sharedGrad.Scale(1 / D)
+
+	// Trunk in reverse: dropout mask, then the fused DenseReLU backward.
+	g := ts.sharedGrad
+	for li := T - 1; li >= 0; li-- {
+		if spec.Dropout > 0 {
+			mat.Hadamard(ts.gTrunk[li], g, ts.mask[li])
+			g = ts.gTrunk[li]
+		}
+		lastX := ws.x
+		if li > 0 {
+			lastX = ws.trunk[li-1]
+			if spec.Dropout > 0 {
+				lastX = ts.drop[li-1]
+			}
+		}
+		var gradIn *mat.Matrix
+		if li > 0 {
+			gradIn = ts.gTrunkIn[li]
+		}
+		p.groupedDenseBackward(act, ts, li, lastX, ws.trunk[li], g, ts.gmTrunk[li], gradIn, n)
+		g = gradIn
+	}
+}
+
 // bandOutput views member band s (rows [s·n, (s+1)·n)) of a stacked
 // Output.
 func bandOutput(out *Output, s, n int) *Output {
@@ -592,6 +1069,19 @@ func bandOutput(out *Output, s, n int) *Output {
 		}
 	}
 	return &Output{Q: Q}
+}
+
+// bandGradQ views member band s of the stacked loss gradient, in the
+// [K][D] shape trainLossGrad fills.
+func bandGradQ(gradQ [][]*mat.Matrix, s, n int) [][]*mat.Matrix {
+	Q := make([][]*mat.Matrix, len(gradQ))
+	for k := range gradQ {
+		Q[k] = make([]*mat.Matrix, len(gradQ[k]))
+		for d := range gradQ[k] {
+			Q[k][d] = gradQ[k][d].RowsView(s*n, (s+1)*n)
+		}
+	}
+	return Q
 }
 
 // Pools is a registry of agent pools keyed by architecture, so fleet

@@ -151,6 +151,85 @@ func TestPoolBitIdenticalSelectAndTrain(t *testing.T) {
 	}
 }
 
+// TestPoolBitIdenticalVariantConfigs drives the grouped training path
+// through the branches the default config leaves cold: global gradient
+// clipping (the flat Adam pass clips over the slab), per-branch
+// bootstrap targets, the shared-value ablation and a dropout-free
+// trunk, each against solo twins.
+func TestPoolBitIdenticalVariantConfigs(t *testing.T) {
+	variants := []struct {
+		name string
+		mut  func(*AgentConfig)
+	}{
+		{"maxgradnorm", func(c *AgentConfig) { c.MaxGradNorm = 0.5 }},
+		{"perbranch", func(c *AgentConfig) { c.TargetMode = TargetPerBranch }},
+		{"sharedvalue", func(c *AgentConfig) { c.Spec.SharedValue = true }},
+		{"nodropout", func(c *AgentConfig) { c.Spec.Dropout = 0 }},
+		{"trainperstep", func(c *AgentConfig) { c.TrainPerStep = 2; c.MaxGradNorm = 1.5 }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			const S = 2
+			var agents []*Agent
+			var pooled []*PooledAgent
+			pool := NewAgentPool()
+			for i := 0; i < S; i++ {
+				cfg := poolTestCfg(int64(300 + i))
+				v.mut(&cfg)
+				agents = append(agents, NewAgent(cfg))
+				cfg2 := poolTestCfg(int64(300 + i))
+				v.mut(&cfg2)
+				pooled = append(pooled, pool.Attach(NewAgent(cfg2)))
+			}
+			drive(t, agents, pooled, pool, 30, 0, 9)
+		})
+	}
+}
+
+// TestPoolConcurrentTraining hammers the pool from one goroutine per
+// member, each running full Observe/Select cycles concurrently — the
+// fleet-engine shape. Run with -race this checks the grouped training
+// phases (stacked workspaces, arena slabs, shared pack panels) against
+// data races; member counts shrink and grow mid-run via churn.
+func TestPoolConcurrentTraining(t *testing.T) {
+	const S = 4
+	pool := NewAgentPool()
+	var pooled []*PooledAgent
+	for i := 0; i < S; i++ {
+		pooled = append(pooled, pool.Attach(NewAgent(poolTestCfg(int64(400+i)))))
+	}
+	done := make(chan struct{}, S)
+	for i, pa := range pooled {
+		go func(i int, pa *PooledAgent) {
+			defer func() { done <- struct{}{} }()
+			spec := pa.Agent.cfg.Spec
+			var prevState []float64
+			var prevActs []int
+			for tt := 0; tt < 40; tt++ {
+				state := testState(spec.StateDim, i, tt)
+				if prevState != nil {
+					pa.Observe(replay.Transition{
+						State:     prevState,
+						Actions:   prevActs,
+						Rewards:   testRewards(spec.Agents, i, tt),
+						NextState: state,
+					})
+				}
+				prevActs = flatActs(pa.SelectActions(state))
+				prevState = state
+			}
+		}(i, pa)
+	}
+	for range pooled {
+		<-done
+	}
+	// Churn under load: drain one member, admit a replacement, train on.
+	pooled[2].Close()
+	repl := pool.Attach(NewAgent(poolTestCfg(999)))
+	solo := NewAgent(poolTestCfg(999))
+	drive(t, []*Agent{solo}, []*PooledAgent{repl}, pool, 15, 0, 0)
+}
+
 // TestPoolSingleMemberBitIdentical pins the degenerate pool (S=1, the
 // daemon shape): still packed-kernel batched, still bit-identical.
 func TestPoolSingleMemberBitIdentical(t *testing.T) {

@@ -1,6 +1,11 @@
 package cluster
 
-import "github.com/twig-sched/twig/internal/metrics"
+import (
+	"fmt"
+
+	"github.com/twig-sched/twig/internal/mat"
+	"github.com/twig-sched/twig/internal/metrics"
+)
 
 // describeMetrics declares every exported family up front so the scrape
 // layout is fixed for the life of the coordinator.
@@ -22,6 +27,12 @@ func (c *Coordinator) describeMetrics() {
 	m.Describe("twig_cluster_snapshots_total", "counter", "Warm failover snapshots cut.")
 	m.Describe("twig_cluster_node_events_total", "counter", "Whole-node fault events injected.")
 	m.Describe("twig_cluster_energy_joules", "gauge", "Cumulative fleet energy.")
+	m.Describe("twig_cluster_kernel_info", "gauge", "GEMM dispatch provenance: selected microkernel, detected CPU features and fast-math state (value is always 1).")
+	m.Set("twig_cluster_kernel_info", metrics.Labels{
+		"kernel":    mat.KernelName(),
+		"cpu":       mat.CPUFeatures(),
+		"fast_math": fmt.Sprintf("%v", mat.FastMath()),
+	}, 1)
 }
 
 var replicaStateNames = func() []string {

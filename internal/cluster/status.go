@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"strings"
+
+	"github.com/twig-sched/twig/internal/mat"
 )
 
 // NodeView is the status representation of one fleet node.
@@ -42,6 +44,13 @@ type Summary struct {
 	Nodes    []NodeView    `json:"nodes"`
 	Replicas []ReplicaView `json:"replicas"`
 
+	// Kernel, CPUFeatures and FastMath record the GEMM dispatch
+	// provenance of the process hosting the fleet (fast math forfeits
+	// bit-identical resume).
+	Kernel      string `json:"kernel"`
+	CPUFeatures string `json:"cpu_features"`
+	FastMath    bool   `json:"fast_math"`
+
 	LeaseExpiries  int `json:"lease_expiries"`
 	RestartsSeen   int `json:"restarts_detected"`
 	Migrations     int `json:"migrations"`
@@ -63,6 +72,9 @@ func (c *Coordinator) Summary() Summary {
 	s := Summary{
 		Time:           c.clock,
 		EnergyJ:        c.energyJ,
+		Kernel:         mat.KernelName(),
+		CPUFeatures:    mat.CPUFeatures(),
+		FastMath:       mat.FastMath(),
 		LeaseExpiries:  c.ctr.LeaseExpiries,
 		RestartsSeen:   c.ctr.RestartsSeen,
 		Migrations:     c.ctr.Migrations,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/twig-sched/twig/internal/ctrl"
+	"github.com/twig-sched/twig/internal/mat"
 )
 
 // status is the JSON document served at /status, shape-compatible with
@@ -27,6 +28,13 @@ type status struct {
 	// Resumed is the checkpoint sequence the daemon restored from
 	// (absent for a fresh start).
 	Resumed uint64 `json:"resumed_from,omitempty"`
+	// Kernel, CPUFeatures and FastMath record the GEMM dispatch
+	// provenance: the selected microkernel flavour, the CPU features the
+	// build detected, and whether the fused fast-math kernels are active
+	// (which forfeits bit-identical resume).
+	Kernel      string `json:"kernel"`
+	CPUFeatures string `json:"cpu_features"`
+	FastMath    bool   `json:"fast_math"`
 }
 
 type serviceStatus struct {
@@ -43,7 +51,13 @@ type serviceStatus struct {
 func (e *Engine) Status() status {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	s := status{Time: e.next - 1, Resumed: e.resumed}
+	s := status{
+		Time:        e.next - 1,
+		Resumed:     e.resumed,
+		Kernel:      mat.KernelName(),
+		CPUFeatures: mat.CPUFeatures(),
+		FastMath:    mat.FastMath(),
+	}
 	if e.haveRes {
 		s.Time = e.lastRes.Time
 		s.PowerW = jsonSafe(e.lastRes.TruePowerW)

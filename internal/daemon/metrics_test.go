@@ -51,7 +51,7 @@ func TestMetricsGoldenScrape(t *testing.T) {
 	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
 		t.Fatalf("Content-Type = %q", ct)
 	}
-	got := w.Body.String()
+	got := scrubMachineInfo(w.Body.String())
 
 	golden := filepath.Join("testdata", "metrics.golden")
 	if *updateGolden {
@@ -72,6 +72,20 @@ func TestMetricsGoldenScrape(t *testing.T) {
 		t.Errorf("metrics scrape drifted from %s (regenerate with -update if intended):\n%s",
 			golden, diffLines(string(want), got))
 	}
+}
+
+// scrubMachineInfo pins the machine-dependent twigd_kernel_info sample
+// (kernel flavour, detected CPU features) to a fixed placeholder so the
+// golden stays portable across build hosts; the family's HELP/TYPE
+// lines and its presence are still covered.
+func scrubMachineInfo(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, "twigd_kernel_info{") {
+			lines[i] = `twigd_kernel_info{scrubbed="true"} 1`
+		}
+	}
+	return strings.Join(lines, "\n")
 }
 
 // diffLines renders a minimal line diff for the golden mismatch report.

@@ -1,0 +1,292 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Fast-math mode tests. The fast kernels (FMA, AVX-512) are NOT bitwise
+// equal to the default path — the contract is a per-element error bound
+// against the naive reference, plus: identical accumulation order,
+// identical ±0 zero-skip semantics, and exact equality whenever every
+// product is exactly representable (fused and split rounding agree on
+// exact arithmetic).
+
+// withFast toggles fast-math dispatch and restores the prior setting.
+func withFast(t *testing.T, on bool) func() {
+	t.Helper()
+	saved := fastMath
+	fastMath = on
+	return func() { fastMath = saved }
+}
+
+// fastFill fills data with moderate-magnitude values (plus exact zeros
+// for the skip path); no 1e150 outliers, so the relative error bound
+// below is meaningful.
+func fastFill(data []float64, rng *rand.Rand) {
+	for i := range data {
+		switch rng.Intn(8) {
+		case 0:
+			data[i] = 0
+		case 1:
+			data[i] = math.Copysign(0, -1)
+		default:
+			data[i] = rng.NormFloat64()
+		}
+	}
+}
+
+// requireTolEqual checks |got−want| ≤ relTol·Σ|a_ik·b_kj| + absTol per
+// destination element — the error budget of re-rounding k fused terms.
+func requireTolEqual(t *testing.T, tag string, got, want, absRef *Matrix) {
+	t.Helper()
+	const relTol = 1e-12
+	const absTol = 1e-300
+	for i, w := range want.Data {
+		g := got.Data[i]
+		if math.IsNaN(w) {
+			if !math.IsNaN(g) {
+				t.Fatalf("%s: element %d: got %v want NaN", tag, i, g)
+			}
+			continue
+		}
+		if diff := math.Abs(g - w); diff > relTol*absRef.Data[i]+absTol {
+			t.Fatalf("%s: element %d: got %v want %v (diff %g, budget %g)",
+				tag, i, g, w, diff, relTol*absRef.Data[i]+absTol)
+		}
+	}
+}
+
+// absMulRef computes Σ|a_ik|·|b_kj| per destination element.
+func absMulRef(a, b *Matrix) *Matrix {
+	ref := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for x := 0; x < a.Cols; x++ {
+				s += math.Abs(a.At(i, x)) * math.Abs(b.At(x, j))
+			}
+			ref.Set(i, j, s)
+		}
+	}
+	return ref
+}
+
+func fastShapes() [][3]int {
+	return [][3]int{
+		{1, 22, 512}, {3, 17, 9}, {4, 8, 8}, {7, 33, 16}, {8, 22, 512},
+		{9, 1, 8}, {12, 5, 24}, {16, 16, 16}, {17, 64, 40}, {64, 22, 512},
+		{64, 512, 256}, {33, 7, 68},
+	}
+}
+
+// TestFastKernelsTolerance runs every product entry point in fast mode
+// against the default bit-exact result and checks the error bound, at
+// serial and parallel fan-out.
+func TestFastKernelsTolerance(t *testing.T) {
+	if !haveFMA {
+		t.Skip("no FMA on this machine (or force-disabled)")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, sh := range fastShapes() {
+		m, k, n := sh[0], sh[1], sh[2]
+		a, b := New(m, k), New(k, n)
+		bias := make([]float64, n)
+		fastFill(a.Data, rng)
+		fastFill(b.Data, rng)
+		fastFill(bias, rng)
+		absRef := absMulRef(a, b)
+
+		withParallelism(t, func(par int) {
+			want, got := New(m, n), New(m, n)
+			Mul(want, a, b)
+			restore := withFast(t, true)
+			Mul(got, a, b)
+			restore()
+			requireTolEqual(t, "Mul", got, want, absRef)
+
+			MulBiasAct(want, a, b, bias, ActReLU)
+			restore = withFast(t, true)
+			MulBiasAct(got, a, b, bias, ActReLU)
+			restore()
+			requireTolEqual(t, "MulBiasAct", got, want, absRef)
+
+			pb := PackB(b)
+			MulPackedBiasAct(want, a, pb, bias, ActIdentity)
+			restore = withFast(t, true)
+			MulPackedBiasAct(got, a, pb, bias, ActIdentity)
+			restore()
+			requireTolEqual(t, "MulPackedBiasAct", got, want, absRef)
+
+			// MulTransAAcc: dst = atᵀ·b where at is k'×m' — reuse a as
+			// the transposed operand (dst is k×n sized from aᵀ? no:
+			// operands (m×k)ᵀ·(m×n)). Build a fresh pair.
+			at := New(m, k)
+			bt := New(m, n)
+			fastFill(at.Data, rng)
+			fastFill(bt.Data, rng)
+			accWant, accGot := New(k, n), New(k, n)
+			fastFill(accWant.Data, rng)
+			copy(accGot.Data, accWant.Data)
+			MulTransAAcc(accWant, at, bt)
+			restore = withFast(t, true)
+			MulTransAAcc(accGot, at, bt)
+			restore()
+			atT := New(k, m)
+			for i := 0; i < m; i++ {
+				for j := 0; j < k; j++ {
+					atT.Set(j, i, at.At(i, j))
+				}
+			}
+			requireTolEqual(t, "MulTransAAcc", accGot, accWant, absMulRef(atT, bt))
+
+			// MulTransB: dst = a·bTᵀ with bT n×k.
+			bT := New(n, k)
+			for i := 0; i < k; i++ {
+				for j := 0; j < n; j++ {
+					bT.Set(j, i, b.At(i, j))
+				}
+			}
+			MulTransB(want, a, bT)
+			restore = withFast(t, true)
+			MulTransB(got, a, bT)
+			restore()
+			requireTolEqual(t, "MulTransB", got, want, absRef)
+		})
+	}
+}
+
+// TestFastKernelsExactOnPowersOfTwo: with power-of-two operands every
+// product and partial sum is exact, so fused and split rounding must
+// agree bit for bit — a strong correctness check of the FMA/ZMM tiles
+// (lane routing, zero-skip, edge tiles) independent of rounding.
+func TestFastKernelsExactOnPowersOfTwo(t *testing.T) {
+	if !haveFMA {
+		t.Skip("no FMA on this machine (or force-disabled)")
+	}
+	rng := rand.New(rand.NewSource(7))
+	pow2 := func(data []float64) {
+		for i := range data {
+			if rng.Intn(6) == 0 {
+				data[i] = 0 // exercise the skip branches
+			} else {
+				data[i] = math.Ldexp(1, rng.Intn(7)-3) * float64(1-2*rng.Intn(2))
+			}
+		}
+	}
+	for _, sh := range fastShapes() {
+		m, k, n := sh[0], sh[1], sh[2]
+		a, b := New(m, k), New(k, n)
+		pow2(a.Data)
+		pow2(b.Data)
+		want, got := New(m, n), New(m, n)
+		Mul(want, a, b)
+		restore := withFast(t, true)
+		Mul(got, a, b)
+		restore()
+		requireBitsEqual(t, "Mul/pow2", got, want)
+	}
+}
+
+// TestFastModeUnavailableFallsBack: with FMA and AVX-512 force-disabled,
+// SetFastMath(true) must leave dispatch on the default kernels and stay
+// bitwise identical.
+func TestFastModeUnavailableFallsBack(t *testing.T) {
+	savedF, saved512 := haveFMA, haveAVX512
+	defer func() { haveFMA, haveAVX512 = savedF, saved512 }()
+	haveFMA, haveAVX512 = false, false
+
+	name := SetFastMath(true)
+	defer SetFastMath(false)
+	if FastMath() {
+		t.Fatal("FastMath() reported active without FMA/AVX-512")
+	}
+	wantName := "avx2"
+	if !haveAVX2 {
+		wantName = "portable"
+	}
+	if name != wantName {
+		t.Fatalf("KernelName = %q, want %q", name, wantName)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	a, b := New(17, 22), New(22, 40)
+	fuzzFill(a.Data, rng)
+	fuzzFill(b.Data, rng)
+	want, got := New(17, 40), New(17, 40)
+	fastMath = false
+	Mul(want, a, b)
+	fastMath = true
+	Mul(got, a, b)
+	requireBitsEqual(t, "Mul/fast-unavailable", got, want)
+}
+
+// TestKernelNameProvenance pins the dispatch strings for every flag
+// combination.
+func TestKernelNameProvenance(t *testing.T) {
+	savedA, savedF, saved512, savedFast := haveAVX2, haveFMA, haveAVX512, fastMath
+	defer func() { haveAVX2, haveFMA, haveAVX512, fastMath = savedA, savedF, saved512, savedFast }()
+
+	cases := []struct {
+		avx2, fma, avx512, fast bool
+		want                    string
+	}{
+		{false, false, false, false, "portable"},
+		{false, true, true, true, "portable"},
+		{true, false, false, false, "avx2"},
+		{true, true, true, false, "avx2"},
+		{true, true, false, true, "avx2-fma"},
+		{true, true, true, true, "avx512f-fma"},
+	}
+	for _, c := range cases {
+		haveAVX2, haveFMA, haveAVX512, fastMath = c.avx2, c.fma, c.avx512, c.fast
+		if got := KernelName(); got != c.want {
+			t.Errorf("KernelName(avx2=%v fma=%v avx512=%v fast=%v) = %q, want %q",
+				c.avx2, c.fma, c.avx512, c.fast, got, c.want)
+		}
+	}
+}
+
+// TestCPUFeaturesString pins the provenance string shape.
+func TestCPUFeaturesString(t *testing.T) {
+	savedA, savedF, saved512 := haveAVX2, haveFMA, haveAVX512
+	defer func() { haveAVX2, haveFMA, haveAVX512 = savedA, savedF, saved512 }()
+	haveAVX2, haveFMA, haveAVX512 = true, true, true
+	if got := CPUFeatures(); got != "avx2+fma+avx512f" {
+		t.Errorf("CPUFeatures = %q", got)
+	}
+	haveAVX2, haveFMA, haveAVX512 = false, false, false
+	if got := CPUFeatures(); got != "none" {
+		t.Errorf("CPUFeatures = %q", got)
+	}
+}
+
+// FuzzFastMulTolerance is the tolerance-demoted differential oracle for
+// fast mode: arbitrary shapes, fast vs default kernels, error-bound
+// comparison (CI fuzz-smoke runs this next to the bitwise oracles).
+func FuzzFastMulTolerance(f *testing.F) {
+	f.Add(int64(1), byte(64), byte(22), byte(512%68))
+	f.Add(int64(2), byte(1), byte(22), byte(512%68))
+	f.Add(int64(3), byte(8), byte(8), byte(8))
+	f.Add(int64(4), byte(17), byte(33), byte(9))
+	f.Add(int64(5), byte(9), byte(0), byte(9))
+	f.Add(int64(6), byte(16), byte(5), byte(40))
+	f.Fuzz(func(t *testing.T, seed int64, mb, kb, nb byte) {
+		if !haveFMA {
+			t.Skip("no FMA on this machine")
+		}
+		m, k, n := clampDim(mb), clampDim(kb), clampDim(nb)
+		rng := rand.New(rand.NewSource(seed))
+		a, b := New(m, k), New(k, n)
+		fastFill(a.Data, rng)
+		fastFill(b.Data, rng)
+		absRef := absMulRef(a, b)
+		want, got := New(m, n), New(m, n)
+		Mul(want, a, b)
+		restore := withFast(t, true)
+		Mul(got, a, b)
+		restore()
+		requireTolEqual(t, "Mul/fast", got, want, absRef)
+	})
+}

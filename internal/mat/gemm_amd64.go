@@ -15,8 +15,23 @@ package mat
 // (bitwise identical) is used when false. Tests flip it to cover both.
 var haveAVX2 = cpuHasAVX2()
 
+// haveFMA and haveAVX512 gate the opt-in fast-math kernels (see
+// SetFastMath). They are detection state only: no fast kernel runs
+// unless fastMath is also enabled. The AVX-512 kernels use FMA, so
+// disabling FMA (TWIG_DISABLE_FMA) disables both.
+var (
+	haveFMA    = cpuHasFMA()
+	haveAVX512 = cpuHasAVX512()
+)
+
 // cpuHasAVX2 reports AVX2 support with OS-enabled YMM state.
 func cpuHasAVX2() bool
+
+// cpuHasFMA reports FMA3 support with OS-enabled YMM state.
+func cpuHasFMA() bool
+
+// cpuHasAVX512 reports AVX512F support with OS-enabled ZMM/opmask state.
+func cpuHasAVX512() bool
 
 //go:noescape
 func kern4x8s(k int, a0, a1, a2, a3, panel *float64, acc *[mr * nr]float64)
@@ -35,3 +50,27 @@ func kernRowPanelsS(k, panels int, a0, panel, acc *float64)
 
 //go:noescape
 func kernRowPanelsN(k, panels int, a0, panel, acc *float64)
+
+//go:noescape
+func kern4x8sF(k int, a0, a1, a2, a3, panel *float64, acc *[mr * nr]float64)
+
+//go:noescape
+func kern4x8nF(k int, a0, a1, a2, a3, panel *float64, acc *[mr * nr]float64)
+
+//go:noescape
+func kern1x8sF(k int, a0, panel *float64, acc *[nr]float64)
+
+//go:noescape
+func kern1x8nF(k int, a0, panel *float64, acc *[nr]float64)
+
+//go:noescape
+func kernRowPanelsSF(k, panels int, a0, panel, acc *float64)
+
+//go:noescape
+func kernRowPanelsNF(k, panels int, a0, panel, acc *float64)
+
+//go:noescape
+func kern8x8sZ(k int, a0, a1, a2, a3, a4, a5, a6, a7, panel *float64, acc *[zr * nr]float64)
+
+//go:noescape
+func kern8x8nZ(k int, a0, a1, a2, a3, a4, a5, a6, a7, panel *float64, acc *[zr * nr]float64)

@@ -73,6 +73,18 @@ func mulPackedInto(dst, a *Matrix, bp []float64, r0, r1 int, bias []float64, act
 		return
 	}
 	rows := r1 - r0
+	if rows < mr {
+		// Narrow products (solo batch-1 action selection on persistent
+		// packs): the fused multi-panel row kernel skips the per-panel
+		// call dispatch. Bitwise identical to the per-row tile loop.
+		k, n := a.Cols, dst.Cols
+		rowScr := GetScratch(1, (n+nr-1)/nr*nr)
+		for i := r0; i < r1; i++ {
+			gemmPackedRowFused(dst.Row(i), a.Row(i), bp, rowScr.Data, k, n, true, false, bias, act)
+		}
+		PutScratch(rowScr)
+		return
+	}
 	flops := rows * a.Cols * dst.Cols
 	if useParallel(rows, flops) {
 		parallelRows(rows, func(c0, c1 int) {
@@ -201,6 +213,51 @@ func MulGroupedBiasAct(dst, a *Matrix, rowsPer int, groups []Group, act Activati
 	}
 }
 
+// MulGroupedTransAAcc is the block-diagonal weight-gradient sweep of
+// the pooled training path: a and b are split into len(dsts) bands of
+// rowsPer consecutive rows, and band g accumulates dsts[g] += a_gᵀ·b_g.
+// Each band runs the exact MulTransAAcc dispatch (packed gather kernel
+// or streaming fallback), so every destination is bit-identical to the
+// per-agent call it replaces.
+func MulGroupedTransAAcc(dsts []*Matrix, a, b *Matrix, rowsPer int) {
+	if rowsPer <= 0 {
+		panic("mat: MulGroupedTransAAcc rowsPer must be positive")
+	}
+	if a.Rows != rowsPer*len(dsts) || b.Rows != a.Rows {
+		panic(fmt.Sprintf("mat: MulGroupedTransAAcc has %dx%d rows for %d groups of %d",
+			a.Rows, b.Rows, len(dsts), rowsPer))
+	}
+	ab := Matrix{Rows: rowsPer, Cols: a.Cols}
+	bb := Matrix{Rows: rowsPer, Cols: b.Cols}
+	for g, dst := range dsts {
+		r0 := g * rowsPer
+		ab.Data = a.Data[r0*a.Cols : (r0+rowsPer)*a.Cols]
+		bb.Data = b.Data[r0*b.Cols : (r0+rowsPer)*b.Cols]
+		MulTransAAcc(dst, &ab, &bb)
+	}
+}
+
+// MulGroupedTransB is the block-diagonal upstream-gradient sweep: band
+// g of dst is a_g·bs[g]ᵀ. Every bs must share the shape (agents share
+// one architecture). Bit-identical per band to MulTransB.
+func MulGroupedTransB(dst, a *Matrix, rowsPer int, bs []*Matrix) {
+	if rowsPer <= 0 {
+		panic("mat: MulGroupedTransB rowsPer must be positive")
+	}
+	if a.Rows != rowsPer*len(bs) || dst.Rows != a.Rows {
+		panic(fmt.Sprintf("mat: MulGroupedTransB has %d rows for %d groups of %d",
+			a.Rows, len(bs), rowsPer))
+	}
+	ab := Matrix{Rows: rowsPer, Cols: a.Cols}
+	db := Matrix{Rows: rowsPer, Cols: dst.Cols}
+	for g, b := range bs {
+		r0 := g * rowsPer
+		ab.Data = a.Data[r0*a.Cols : (r0+rowsPer)*a.Cols]
+		db.Data = dst.Data[r0*dst.Cols : (r0+rowsPer)*dst.Cols]
+		MulTransB(&db, &ab, b)
+	}
+}
+
 // allPacked reports whether every group carries persistent panels.
 func allPacked(groups []Group) bool {
 	for g := range groups {
@@ -267,13 +324,20 @@ func PackedDispatch(m, k, n int) DispatchInfo {
 // reports.
 func MinPackRows() int { return minPackRows }
 
-// KernelName names the microkernel implementation compiled-and-enabled
-// on this machine: "avx2" when the assembly kernels run, "portable"
-// for the pure-Go fallback. Benchmark reports record it so baselines
-// from different machines are comparable.
+// KernelName names the microkernel implementation dispatch currently
+// selects: "portable" (pure-Go fallback), "avx2" (default bit-exact
+// assembly), or — with SetFastMath(true) on capable hardware —
+// "avx2-fma" / "avx512f-fma". Benchmark reports record it so baselines
+// from different machines and modes are comparable.
 func KernelName() string {
-	if haveAVX2 {
+	switch {
+	case !haveAVX2:
+		return "portable"
+	case fastMath && haveAVX512:
+		return "avx512f-fma"
+	case fastMath && haveFMA:
+		return "avx2-fma"
+	default:
 		return "avx2"
 	}
-	return "portable"
 }

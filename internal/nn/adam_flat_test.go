@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/twig-sched/twig/internal/mat"
+)
+
+// TestStepAndZeroGradFlatBitIdentical trains two arena-adopted copies
+// of one network in lockstep — one stepping per-param, one through the
+// fused slab pass — and requires bitwise-equal values, moments and
+// zeroed grads at every step, with and without global-norm clipping.
+func TestStepAndZeroGradFlatBitIdentical(t *testing.T) {
+	for _, maxNorm := range []float64{0, 0.25} {
+		perParam := buildArenaNet(11)
+		flat := buildArenaNet(11)
+		arena := NewArena(ShapesOf(flat.Params()), 2)
+		idP := arena.Alloc()
+		arena.Adopt(idP, perParam.Params())
+		idF := arena.Alloc()
+		arena.Adopt(idF, flat.Params())
+		value, grad, m, v := arena.SlotSlabs(idF)
+
+		optP := NewAdam(0.01)
+		optF := NewAdam(0.01)
+		optP.MaxGradNorm = maxNorm
+		optF.MaxGradNorm = maxNorm
+
+		rng := rand.New(rand.NewSource(42))
+		x := mat.New(4, 5)
+		gout := mat.New(4, 3)
+		for step := 0; step < 25; step++ {
+			for i := range x.Data {
+				x.Data[i] = rng.NormFloat64()
+			}
+			for i := range gout.Data {
+				gout.Data[i] = rng.NormFloat64()
+			}
+			for _, net := range []*Sequential{perParam, flat} {
+				net.Forward(x, true)
+				net.Backward(gout)
+			}
+			optP.StepAndZeroGrad(perParam.Params())
+			optF.StepAndZeroGradFlat(flat.Params(), value, grad, m, v)
+			requireParamsBitsEqual(t, "flat-vs-perparam", flat.Params(), perParam.Params())
+			for i, p := range perParam.Params() {
+				fp := flat.Params()[i]
+				for j := range p.m.Data {
+					if math.Float64bits(fp.m.Data[j]) != math.Float64bits(p.m.Data[j]) ||
+						math.Float64bits(fp.v.Data[j]) != math.Float64bits(p.v.Data[j]) {
+						t.Fatalf("maxNorm=%v step %d: param %q moment %d diverged", maxNorm, step, p.Name, j)
+					}
+				}
+			}
+			for i, g := range grad {
+				if g != 0 {
+					t.Fatalf("maxNorm=%v step %d: grad slab element %d not zeroed: %v", maxNorm, step, i, g)
+				}
+			}
+		}
+	}
+}
+
+// TestStepAndZeroGradFlatRejectsHeapParams: the fused pass requires
+// arena-adopted params (slab views); a heap param must panic loudly
+// rather than silently updating the wrong memory.
+func TestStepAndZeroGradFlatRejectsHeapParams(t *testing.T) {
+	net := buildArenaNet(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-arena params")
+		}
+	}()
+	opt := NewAdam(0.01)
+	slab := make([]float64, 128)
+	opt.StepAndZeroGradFlat(net.Params(), slab, slab, slab, slab)
+}

@@ -131,6 +131,18 @@ func (a *Arena) Live() int { return a.live }
 // PerSlot reports the floats one slot occupies (per tensor kind).
 func (a *Arena) PerSlot() int { return a.perSlot }
 
+// SlotSlabs returns the slot's four contiguous slab segments — values,
+// gradients, first and second Adam moments — that every param adopted
+// into the slot views, tightly packed in Params() order. The fused
+// optimiser pass (Adam.StepAndZeroGradFlat) walks these instead of the
+// per-param tensors.
+func (a *Arena) SlotSlabs(id int) (value, grad, m, v []float64) {
+	chunk := a.chunks[id/a.slotsPerChunk]
+	lo := (id % a.slotsPerChunk) * a.perSlot
+	hi := lo + a.perSlot
+	return chunk.value[lo:hi:hi], chunk.grad[lo:hi:hi], chunk.m[lo:hi:hi], chunk.v[lo:hi:hi]
+}
+
 // Adopt moves params into slot id: every tensor is copied into the slab
 // and the Param's matrices are rebound to slab views. Params must match
 // the arena's architecture exactly. Live Adam moments move with the

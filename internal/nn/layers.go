@@ -40,6 +40,14 @@ type Dense struct {
 	lastX   *mat.Matrix // cached input for Backward
 	lastOut *mat.Matrix // cached output (mask source when FuseReLU)
 
+	// packW holds persistent packed weight panels (see mat.PackedB).
+	// Owners that track weight epochs (bdq.Network) refresh it after
+	// every weight mutation; while set, Forward runs the packed kernels
+	// at any batch size and skips MulBiasAct's per-call packing —
+	// bitwise identical, pack cost paid once per weight change instead
+	// of once per product.
+	packW *mat.PackedB
+
 	out     workspace // y, batch×Out
 	gradIn  workspace // gradient wrt input, batch×In
 	gm      workspace // masked gradient, batch×Out (FuseReLU only)
@@ -91,10 +99,34 @@ func (d *Dense) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 	if d.FuseReLU {
 		act = mat.ActReLU
 	}
-	mat.MulBiasAct(y, x, d.W.Value, d.B.Value.Data, act)
+	if d.packW != nil {
+		mat.MulPackedBiasAct(y, x, d.packW, d.B.Value.Data, act)
+	} else {
+		mat.MulBiasAct(y, x, d.W.Value, d.B.Value.Data, act)
+	}
 	d.lastOut = y
 	return y
 }
+
+// RefreshPack (re)builds the persistent packed weight panels from the
+// current W. The caller owns the refresh discipline: call after every
+// weight mutation (bdq.Network keys this on its weight epoch), or never
+// — a Dense without packs stays on the per-call packing path.
+func (d *Dense) RefreshPack() {
+	if d.packW == nil {
+		d.packW = &mat.PackedB{}
+	}
+	d.packW.RepackFrom(d.W.Value)
+}
+
+// Pack returns the persistent packed panels, or nil before the first
+// RefreshPack. Pooled grouped products share these panels with the
+// layer's own Forward.
+func (d *Dense) Pack() *mat.PackedB { return d.packW }
+
+// ClearPack drops the persistent panels; Forward falls back to
+// MulBiasAct's per-call packing.
+func (d *Dense) ClearPack() { d.packW = nil }
 
 // Backward accumulates dW = xᵀ·g and db = Σ_rows g, returning g·Wᵀ.
 // When FuseReLU is set, g is first masked by the activation gradient;
@@ -232,6 +264,27 @@ func (d *Dropout) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 		}
 	}
 	return y
+}
+
+// ApplyTrain runs Forward's train-mode body over caller-owned buffers:
+// it draws a fresh mask from the layer's RNG into mask and writes the
+// rescaled, dropped activations of x into y. The pooled training path
+// uses it to keep each member's RNG draw sequence (row-major over the
+// member's own activations, exactly like its solo Forward) while the
+// activations live as bands of a stacked matrix. x, y and mask must
+// share a shape; x's Data is consumed in row-major order.
+func (d *Dropout) ApplyTrain(y, mask, x *mat.Matrix) {
+	keep := 1 - d.Rate
+	inv := 1 / keep
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			mask.Data[i] = inv
+			y.Data[i] = v * inv
+		} else {
+			mask.Data[i] = 0
+			y.Data[i] = 0
+		}
+	}
 }
 
 // Backward applies the same mask to the incoming gradient.
